@@ -1,0 +1,140 @@
+// Internal ablations of Sections 4-6 (the claims Table 7's external
+// comparisons contextualize; see DESIGN.md §1):
+//   * MIS: rootset vs prefix-based        (paper: rootset 1.1-3.5x faster)
+//   * MSF: filtered vs plain Boruvka      (paper: filtering wins, 1.2-2.9x
+//                                          vs edgelist Boruvka)
+//   * SCC: trimming/single-pivot on/off   (paper: both required to scale)
+//   * Set cover: regenerated vs static priorities (paper: static is up to
+//     56x slower on 3D-Torus because rounds stop making progress)
+#include <cstdio>
+#include <string>
+
+#include "algorithms/baselines.h"
+#include "algorithms/coloring.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/delta_stepping.h"
+#include "algorithms/mis.h"
+#include "algorithms/msf.h"
+#include "algorithms/scc.h"
+#include "algorithms/set_cover.h"
+#include "algorithms/wbfs.h"
+#include "bench_common.h"
+
+namespace {
+
+void report(const std::string& graph, const std::string& what, double base,
+            double variant) {
+  std::printf("%-14s %-38s %10.4f %10.4f %8.2fx\n", graph.c_str(),
+              what.c_str(), base, variant, variant / base);
+  std::fflush(stdout);
+}
+
+gbbs::graph<gbbs::empty_weight> neighborhood_cover_instance(
+    const gbbs::graph<gbbs::empty_weight>& g) {
+  const gbbs::vertex_id n = g.num_vertices();
+  auto flat = g.edges();
+  std::vector<gbbs::edge<gbbs::empty_weight>> edges(flat.size() + n);
+  parlib::parallel_for(0, flat.size(), [&](std::size_t i) {
+    edges[i] = {flat[i].u, static_cast<gbbs::vertex_id>(n + flat[i].v), {}};
+  });
+  parlib::parallel_for(0, n, [&](std::size_t v) {
+    edges[flat.size() + v] = {static_cast<gbbs::vertex_id>(v),
+                              static_cast<gbbs::vertex_id>(n + v), {}};
+  });
+  return gbbs::build_symmetric_graph<gbbs::empty_weight>(2 * n,
+                                                         std::move(edges));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# bench_ablations: Section 4-6 design-choice ablations\n");
+  std::printf("%-14s %-38s %10s %10s %9s\n", "graph", "baseline vs variant",
+              "base(s)", "var(s)", "var/base");
+  const std::size_t P = parlib::num_workers();
+  auto suite = bench::make_suite();
+
+  for (const auto& sg : suite) {
+    // MIS: rootset (base) vs prefix (variant).
+    const double mis_root = bench::time_with_workers(
+        P, [&] { gbbs::mis_rootset(sg.sym); }, 2);
+    const double mis_pref = bench::time_with_workers(
+        P, [&] { gbbs::mis_prefix(sg.sym); }, 2);
+    report(sg.name, "MIS rootset vs prefix", mis_root, mis_pref);
+
+    // MSF: filtered (base) vs plain edgelist Boruvka and vs the PBBS-style
+    // sort+union-find Kruskal comparator.
+    const double msf_filt = bench::time_with_workers(
+        P, [&] { gbbs::msf(sg.sym_weighted, true); }, 2);
+    const double msf_plain = bench::time_with_workers(
+        P, [&] { gbbs::msf(sg.sym_weighted, false); }, 2);
+    report(sg.name, "MSF filtered vs plain Boruvka", msf_filt, msf_plain);
+    const double msf_kr = bench::time_with_workers(
+        P, [&] { gbbs::msf_kruskal(sg.sym_weighted); }, 2);
+    report(sg.name, "MSF filtered vs Kruskal(UF) baseline", msf_filt,
+           msf_kr);
+
+    // Connectivity: LDD+contract (base) vs concurrent union-find.
+    const double cc_ldd = bench::time_with_workers(
+        P, [&] { gbbs::connectivity(sg.sym); }, 2);
+    const double cc_uf = bench::time_with_workers(
+        P, [&] { gbbs::connectivity_union_find(sg.sym); }, 2);
+    report(sg.name, "Connectivity LDD vs union-find", cc_ldd, cc_uf);
+
+    // SSSP: bucketed wBFS (base) vs delta-stepping (the GAP comparator).
+    const gbbs::vertex_id src = sg.sym.num_vertices() / 2;
+    const double sssp_wbfs = bench::time_with_workers(
+        P, [&] { gbbs::wbfs(sg.sym_weighted, src); }, 2);
+    const double sssp_delta = bench::time_with_workers(
+        P, [&] { gbbs::delta_stepping(sg.sym_weighted, src); }, 2);
+    report(sg.name, "wBFS vs delta-stepping", sssp_wbfs, sssp_delta);
+
+    // SCC: all optimizations (base) vs disabled (variants).
+    const double scc_full = bench::time_with_workers(
+        P, [&] { gbbs::scc(sg.dir); }, 2);
+    {
+      gbbs::scc_options o;
+      o.trim = false;
+      const double scc_notrim = bench::time_with_workers(
+          P, [&] { gbbs::scc(sg.dir, o); }, 2);
+      report(sg.name, "SCC with vs without trimming", scc_full, scc_notrim);
+    }
+    {
+      gbbs::scc_options o;
+      o.single_pivot = false;
+      const double scc_nopivot = bench::time_with_workers(
+          P, [&] { gbbs::scc(sg.dir, o); }, 2);
+      report(sg.name, "SCC with vs without single-pivot", scc_full,
+             scc_nopivot);
+    }
+
+    // Coloring: synchronous rounds (base) vs asynchronous activation
+    // (variant). Paper: sync is 1.2-1.6x slower than async JP.
+    const double col_sync = bench::time_with_workers(
+        P, [&] { gbbs::color_graph(sg.sym); }, 2);
+    const double col_async = bench::time_with_workers(
+        P, [&] { gbbs::color_graph_async(sg.sym); }, 2);
+    report(sg.name, "Coloring sync vs async JP", col_sync, col_async);
+
+    // Set cover: regenerated (base) vs static priorities (variant). The
+    // paper's pathology shows on symmetric/regular instances (3D-Torus).
+    auto cover = neighborhood_cover_instance(sg.sym);
+    gbbs::set_cover_result r_regen, r_static;
+    const double sc_regen = bench::time_with_workers(
+        P, [&] { r_regen = gbbs::set_cover(cover, sg.sym.num_vertices()); },
+        1);
+    gbbs::set_cover_options o;
+    o.regenerate_priorities = false;
+    const double sc_static = bench::time_with_workers(
+        P,
+        [&] {
+          r_static = gbbs::set_cover(cover, sg.sym.num_vertices(), o);
+        },
+        1);
+    report(sg.name, "SetCover regen vs static priorities", sc_regen,
+           sc_static);
+    std::printf("%-14s   (rounds: regen=%zu static=%zu)\n", sg.name.c_str(),
+                r_regen.num_rounds, r_static.num_rounds);
+  }
+  return 0;
+}

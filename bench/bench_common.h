@@ -1,0 +1,161 @@
+// Shared benchmark harness: timing, the benchmark graph suite (the DESIGN.md
+// §1 substitutes for the paper's inputs), and the paper's (1) / (P) / (SU)
+// row format.
+//
+// Scale: GBBS_BENCH_SCALE (default 16) sets the R-MAT vertex scale; all
+// other graph sizes derive from it. At the default the whole bench suite
+// runs in a few minutes on a 2-core host.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/compression/compressed_graph.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "parlib/scheduler.h"
+
+namespace bench {
+
+inline std::uint32_t bench_scale() {
+  if (const char* env = std::getenv("GBBS_BENCH_SCALE")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 8 && v <= 26) return static_cast<std::uint32_t>(v);
+  }
+  return 16;
+}
+
+// Wall-clock of one run of f (seconds).
+template <typename F>
+double time_once(F&& f) {
+  const auto start = std::chrono::steady_clock::now();
+  f();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Best of `reps` runs (the paper reports single-run times on warm caches;
+// best-of-k removes scheduler noise on a small host).
+template <typename F>
+double time_best(F&& f, int reps = 3) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) best = std::min(best, time_once(f));
+  return best;
+}
+
+// Time f with exactly `workers` active workers.
+template <typename F>
+double time_with_workers(std::size_t workers, F&& f, int reps = 3) {
+  parlib::active_workers_guard guard(workers);
+  return time_best(f, reps);
+}
+
+// One row of a Table 2/4/5-style report.
+struct row {
+  std::string problem;
+  double t1 = 0;  // single-thread time
+  double tp = 0;  // all-core time
+  double speedup() const { return tp > 0 ? t1 / tp : 0; }
+};
+
+inline void print_table_header(const std::string& graph_name,
+                               std::uint64_t n, std::uint64_t m) {
+  std::printf("\n== %s (n=%llu, m=%llu, workers=%zu) ==\n",
+              graph_name.c_str(), static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(m), parlib::num_workers());
+  std::printf("%-42s %10s %10s %8s\n", "Problem", "(1)", "(P)", "(SU)");
+}
+
+inline void print_row(const row& r) {
+  std::printf("%-42s %10.4f %10.4f %8.2f\n", r.problem.c_str(), r.t1, r.tp,
+              r.speedup());
+  std::fflush(stdout);
+}
+
+// Run `f` at 1 worker and at P workers, returning the row.
+template <typename F>
+row run_problem(const std::string& name, F&& f, int reps = 2) {
+  row r;
+  r.problem = name;
+  r.t1 = time_with_workers(1, f, reps);
+  r.tp = time_with_workers(parlib::num_workers(), f, reps);
+  return r;
+}
+
+// ---- benchmark graph suite (DESIGN.md §1) --------------------------------
+
+struct suite_graph {
+  std::string name;
+  std::string stands_for;  // which paper input this substitutes
+  gbbs::graph<gbbs::empty_weight> sym;
+  gbbs::graph<std::uint32_t> sym_weighted;
+  gbbs::graph<gbbs::empty_weight> dir;
+};
+
+inline suite_graph make_rmat_small() {
+  const std::uint32_t scale = bench_scale() - 2;
+  const std::size_t m = std::size_t{12} << scale;
+  suite_graph s;
+  s.name = "rmat-small";
+  s.stands_for = "LiveJournal-like (skewed, low diameter)";
+  s.sym = gbbs::rmat_symmetric(scale, m, 101);
+  s.sym_weighted = gbbs::rmat_symmetric_weighted(scale, m, 101);
+  s.dir = gbbs::rmat_directed(scale, m, 101);
+  return s;
+}
+
+inline suite_graph make_er() {
+  const std::uint32_t scale = bench_scale() - 2;
+  const gbbs::vertex_id n = gbbs::vertex_id{1} << scale;
+  const std::size_t m = std::size_t{16} << scale;
+  suite_graph s;
+  s.name = "erdos-renyi";
+  s.stands_for = "com-Orkut-like (uniform degrees)";
+  auto edges = gbbs::erdos_renyi_edges(n, m, 103);
+  s.sym = gbbs::build_symmetric_graph<gbbs::empty_weight>(n, edges);
+  s.sym_weighted = gbbs::build_symmetric_graph<std::uint32_t>(
+      n, gbbs::with_random_weights(edges, gbbs::weight_range(n), 5));
+  s.dir = gbbs::build_asymmetric_graph<gbbs::empty_weight>(n, edges);
+  return s;
+}
+
+inline suite_graph make_rmat_large() {
+  const std::uint32_t scale = bench_scale();
+  const std::size_t m = std::size_t{16} << scale;
+  suite_graph s;
+  s.name = "rmat-large";
+  s.stands_for = "Twitter/Hyperlink-like (largest skewed input)";
+  s.sym = gbbs::rmat_symmetric(scale, m, 107);
+  s.sym_weighted = gbbs::rmat_symmetric_weighted(scale, m, 107);
+  s.dir = gbbs::rmat_directed(scale, m, 107);
+  return s;
+}
+
+inline suite_graph make_torus() {
+  const gbbs::vertex_id side =
+      static_cast<gbbs::vertex_id>(1u << (bench_scale() / 3 + 1));
+  suite_graph s;
+  s.name = "3d-torus";
+  s.stands_for = "3D-Torus (high diameter, regular)";
+  s.sym = gbbs::torus3d_symmetric(side);
+  s.sym_weighted = gbbs::torus3d_symmetric_weighted(side, 7);
+  // Directed torus: the +1 edges only, as a directed graph.
+  s.dir = gbbs::build_asymmetric_graph<gbbs::empty_weight>(
+      side * side * side, gbbs::torus3d_edges(side));
+  return s;
+}
+
+inline std::vector<suite_graph> make_suite() {
+  std::vector<suite_graph> suite;
+  suite.push_back(make_rmat_small());
+  suite.push_back(make_er());
+  suite.push_back(make_rmat_large());
+  suite.push_back(make_torus());
+  return suite;
+}
+
+}  // namespace bench

@@ -1,0 +1,55 @@
+// Ligra+ compression claims (Sections 1, 6 and B): space per edge of the
+// parallel-byte format vs CSR (paper: <1.5 bytes/edge on the crawls vs
+// ~4+ for CSR), and the running-time cost/benefit of operating on the
+// compressed representation for a traversal-bound (BFS), a
+// contraction-bound (connectivity), and an intersection-bound (TC) problem.
+#include <cstdio>
+
+#include "algorithms/bfs.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/triangle.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf("# bench_compression: parallel-byte format vs CSR\n");
+  std::printf("%-14s %14s %14s %10s %10s %10s\n", "graph", "csr B/edge",
+              "comp B/edge", "BFS", "CC", "TC");
+  const std::size_t P = parlib::num_workers();
+  auto suite = bench::make_suite();
+  for (const auto& sg : suite) {
+    auto cg = gbbs::compressed_graph<gbbs::empty_weight>::compress(sg.sym);
+    auto ng =
+        gbbs::nibble_compressed_graph<gbbs::empty_weight>::compress(sg.sym);
+    const double csr_bpe =
+        static_cast<double>(sg.sym.size_in_bytes()) / sg.sym.num_edges();
+    const double comp_bpe =
+        static_cast<double>(cg.size_in_bytes()) / sg.sym.num_edges();
+    const double nib_bpe =
+        static_cast<double>(ng.size_in_bytes()) / sg.sym.num_edges();
+
+    const gbbs::vertex_id src = sg.sym.num_vertices() / 2;
+    const double bfs_u = bench::time_with_workers(
+        P, [&] { gbbs::bfs(sg.sym, src); });
+    const double bfs_c =
+        bench::time_with_workers(P, [&] { gbbs::bfs(cg, src); });
+    const double cc_u = bench::time_with_workers(
+        P, [&] { gbbs::connectivity(sg.sym); });
+    const double cc_c =
+        bench::time_with_workers(P, [&] { gbbs::connectivity(cg); });
+    const double tc_u = bench::time_with_workers(
+        P, [&] { gbbs::triangle_count(sg.sym); }, 1);
+    const double tc_c =
+        bench::time_with_workers(P, [&] { gbbs::triangle_count(cg); }, 1);
+
+    std::printf("%-14s %14.3f %14.3f   (nibble: %.3f)\n", sg.name.c_str(),
+                csr_bpe, comp_bpe, nib_bpe);
+    std::printf("%-14s   uncompressed times(s):        %10.4f %10.4f %10.4f\n",
+                "", bfs_u, cc_u, tc_u);
+    std::printf("%-14s   compressed times(s):          %10.4f %10.4f %10.4f\n",
+                "", bfs_c, cc_c, tc_c);
+    std::printf("%-14s   compressed/uncompressed:      %9.2fx %9.2fx %9.2fx\n",
+                "", bfs_c / bfs_u, cc_c / cc_u, tc_c / tc_u);
+    std::fflush(stdout);
+  }
+  return 0;
+}

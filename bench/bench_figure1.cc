@@ -1,0 +1,41 @@
+// Figure 1: normalized throughput (edges/second at P workers) versus number
+// of vertices for MIS, BFS, BC, and graph coloring on the 3D-torus family.
+//
+// Shape to compare against the paper: throughput saturates as the graph
+// grows, and at a fixed large size the algorithms order by their depth on
+// the torus — coloring >= MIS >= BFS >= BC (coloring saturates earliest,
+// BC latest, since diam-bounded algorithms pay the torus's large diameter).
+#include <cstdio>
+#include <vector>
+
+#include "algorithms/betweenness.h"
+#include "algorithms/bfs.h"
+#include "algorithms/coloring.h"
+#include "algorithms/mis.h"
+#include "bench_common.h"
+
+int main() {
+  std::printf(
+      "# bench_figure1: throughput (edges/sec, P workers) vs torus size\n");
+  std::printf("%10s %12s %14s %14s %14s %14s\n", "side", "vertices", "MIS",
+              "BFS", "BC", "Coloring");
+  const std::uint32_t max_side = 4 + (bench::bench_scale() - 8) * 4;
+  for (std::uint32_t side = 8; side <= max_side; side += 8) {
+    auto g = gbbs::torus3d_symmetric(side);
+    const double m = static_cast<double>(g.num_edges());
+    const double t_mis =
+        bench::time_with_workers(parlib::num_workers(),
+                                 [&] { gbbs::mis_rootset(g); });
+    const double t_bfs = bench::time_with_workers(
+        parlib::num_workers(), [&] { gbbs::bfs(g, 0); });
+    const double t_bc = bench::time_with_workers(
+        parlib::num_workers(), [&] { gbbs::betweenness(g, 0); });
+    const double t_col = bench::time_with_workers(
+        parlib::num_workers(), [&] { gbbs::color_graph(g); });
+    std::printf("%10u %12llu %14.3e %14.3e %14.3e %14.3e\n", side,
+                static_cast<unsigned long long>(g.num_vertices()), m / t_mis,
+                m / t_bfs, m / t_bc, m / t_col);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark micro-suite for the parlib substrate: the primitives of
+// Section 3 (scan, reduce, filter), the sorts, the Section 5 histogram, and
+// the atomic primitives of the MT-RAM model.
+#include <benchmark/benchmark.h>
+
+#include "parlib/atomics.h"
+#include "parlib/histogram.h"
+#include "parlib/integer_sort.h"
+#include "parlib/random.h"
+#include "parlib/sequence_ops.h"
+#include "parlib/sort.h"
+
+namespace {
+
+void BM_Scan(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto data = parlib::tabulate<std::uint64_t>(
+      n, [](std::size_t i) { return parlib::hash64(i) % 100; });
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(parlib::scan_inplace(copy));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Scan)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Reduce(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto data = parlib::tabulate<std::uint64_t>(
+      n, [](std::size_t i) { return parlib::hash64(i); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parlib::reduce_add(data));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Filter(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto data = parlib::tabulate<std::uint64_t>(
+      n, [](std::size_t i) { return parlib::hash64(i); });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parlib::filter(data, [](std::uint64_t v) { return v % 3 == 0; }));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Filter)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MergeSort(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto data = parlib::tabulate<std::uint64_t>(
+      n, [](std::size_t i) { return parlib::hash64(i); });
+  for (auto _ : state) {
+    auto copy = data;
+    parlib::sort_inplace(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MergeSort)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_IntegerSort(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  auto data = parlib::tabulate<std::uint32_t>(n, [](std::size_t i) {
+    return parlib::hash32(static_cast<std::uint32_t>(i));
+  });
+  for (auto _ : state) {
+    auto copy = data;
+    parlib::integer_sort_inplace(copy, [](std::uint32_t x) { return x; }, 32);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_IntegerSort)->Arg(1 << 16)->Arg(1 << 19);
+
+// Histogram on skewed keys (the k-core setting of Section 5) vs uniform.
+void BM_HistogramSkewed(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // ~half the mass on 16 heavy keys.
+    const auto h = parlib::hash64(i);
+    const std::uint32_t key = (h & 1) ? (h >> 1) % 16
+                                      : 16 + (h >> 1) % 100000;
+    pairs[i] = {key, 1};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+            pairs, [](auto a, auto b) { return a + b; }, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HistogramSkewed)->Arg(1 << 16)->Arg(1 << 19);
+
+// The contended alternative the histogram replaces.
+void BM_FetchAddContended(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  std::vector<std::uint64_t> counters(16 + 100000, 0);
+  for (auto _ : state) {
+    parlib::parallel_for(0, n, [&](std::size_t i) {
+      const auto h = parlib::hash64(i);
+      const std::uint32_t key = (h & 1) ? (h >> 1) % 16
+                                        : 16 + (h >> 1) % 100000;
+      parlib::fetch_and_add<std::uint64_t>(&counters[key], 1);
+    });
+    benchmark::DoNotOptimize(counters.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FetchAddContended)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_RandomPermutation(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        parlib::random_permutation(n, parlib::random(3)));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomPermutation)->Arg(1 << 16)->Arg(1 << 19);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Tables 3 and 8-13: the graph-inventory row (n, m, effective diameter,
+// rho, kmax) and the full per-graph statistics block (component counts and
+// largest sizes, triangles, colors under LF/LLF, MIS/MM/set-cover sizes).
+#include <cstdio>
+
+#include "algorithms/set_cover.h"
+#include "algorithms/stats.h"
+#include "bench_common.h"
+
+namespace {
+
+gbbs::graph<gbbs::empty_weight> neighborhood_cover_instance(
+    const gbbs::graph<gbbs::empty_weight>& g) {
+  const gbbs::vertex_id n = g.num_vertices();
+  auto flat = g.edges();
+  std::vector<gbbs::edge<gbbs::empty_weight>> edges(flat.size() + n);
+  parlib::parallel_for(0, flat.size(), [&](std::size_t i) {
+    edges[i] = {flat[i].u, static_cast<gbbs::vertex_id>(n + flat[i].v), {}};
+  });
+  parlib::parallel_for(0, n, [&](std::size_t v) {
+    edges[flat.size() + v] = {static_cast<gbbs::vertex_id>(v),
+                              static_cast<gbbs::vertex_id>(n + v), {}};
+  });
+  return gbbs::build_symmetric_graph<gbbs::empty_weight>(2 * n,
+                                                         std::move(edges));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# bench_stats: Table 3 inventory + Tables 8-13 statistics\n");
+  auto suite = bench::make_suite();
+
+  std::printf("\n-- Table 3: graph inputs --\n");
+  std::printf("%-14s %12s %14s %8s %8s %8s\n", "graph", "vertices",
+              "edges(sym)", "diam*", "rho", "kmax");
+  std::vector<gbbs::graph_statistics> stats;
+  for (const auto& sg : suite) {
+    auto s = gbbs::compute_statistics(sg.sym);
+    gbbs::add_directed_statistics(sg.dir, s);
+    std::printf("%-14s %12llu %14llu %8u %8zu %8u\n", sg.name.c_str(),
+                static_cast<unsigned long long>(s.num_vertices),
+                static_cast<unsigned long long>(s.num_edges),
+                s.effective_diameter, s.rho, s.kmax);
+    std::fflush(stdout);
+    stats.push_back(s);
+  }
+
+  std::printf("\n-- Tables 8-13: per-graph statistics --\n");
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto& sg = suite[i];
+    const auto& s = stats[i];
+    auto cover = neighborhood_cover_instance(sg.sym);
+    auto sc = gbbs::set_cover(cover, sg.sym.num_vertices());
+    std::printf("\n[%s]  (stands for: %s)\n", sg.name.c_str(),
+                sg.stands_for.c_str());
+    std::printf("  Num. Vertices                        %llu\n",
+                static_cast<unsigned long long>(s.num_vertices));
+    std::printf("  Num. Undirected Edges                %llu\n",
+                static_cast<unsigned long long>(s.num_edges));
+    std::printf("  Effective Undirected Diameter        %u\n",
+                s.effective_diameter);
+    std::printf("  Num. Connected Components            %zu\n", s.num_cc);
+    std::printf("  Num. Biconnected Components          %zu\n", s.num_bicc);
+    std::printf("  Num. Strongly Connected Components   %zu\n", s.num_scc);
+    std::printf("  Size of Largest Connected Component  %zu\n", s.largest_cc);
+    std::printf("  Size of Largest SCC                  %zu\n",
+                s.largest_scc);
+    std::printf("  Num. Triangles                       %llu\n",
+                static_cast<unsigned long long>(s.num_triangles));
+    std::printf("  Num. Colors Used by LF               %u\n", s.colors_lf);
+    std::printf("  Num. Colors Used by LLF              %u\n", s.colors_llf);
+    std::printf("  Maximal Independent Set Size         %zu\n", s.mis_size);
+    std::printf("  Maximal Matching Size                %zu\n",
+                s.matching_size);
+    std::printf("  Set Cover Size                       %zu\n",
+                sc.cover.size());
+    std::printf("  kmax (Degeneracy)                    %u\n", s.kmax);
+    std::printf("  rho (Num. Peeling Rounds in k-core)  %zu\n", s.rho);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,219 @@
+// Biconnectivity (Algorithm 7, Tarjan-Vishkin as implemented in Section 4):
+// O(m) expected work, O(max(diam(G) log n, log^3 n)) depth w.h.p. on the
+// FA-MT-RAM.
+//
+// Pipeline: connectivity labels -> one root per component -> multi-source
+// BFS spanning forest -> leaffix/rootfix computations over the BFS levels
+// (subtree Size, preorder PN, Low, High) -> critical tree edges
+// (u, p(u)) where PN(p) <= Low(u) and High(u) < PN(p) + Size(p) ->
+// connectivity on G minus critical edges. The resulting per-vertex labels
+// answer per-edge biconnectivity queries in O(1) with 2n space: a tree edge
+// gets the label of its deeper endpoint, a non-tree edge the label of
+// either endpoint (they agree, as non-tree edges are never removed).
+//
+// The leaffix (bottom-up) and rootfix (top-down) sums exploit that BFS
+// levels are a valid schedule: all children of a vertex live exactly one
+// level deeper, so one parallel pass per level suffices.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "algorithms/connectivity.h"
+#include "algorithms/spanning_forest.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "parlib/integer_sort.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs {
+
+// A BFS forest organized for level-synchronous leaffix/rootfix passes.
+struct rooted_forest {
+  std::vector<vertex_id> parents;
+  std::vector<std::uint32_t> level;
+  std::vector<std::vector<vertex_id>> waves;  // waves[d] = vertices at depth d
+  std::vector<edge_id> child_offsets;         // CSR over children
+  std::vector<vertex_id> children;
+};
+
+inline rooted_forest build_rooted_forest(std::vector<vertex_id> parents,
+                                         const std::vector<vertex_id>& roots) {
+  const std::size_t n = parents.size();
+  rooted_forest f;
+  f.parents = std::move(parents);
+  // Children CSR: stable-sort non-root vertices by parent.
+  auto non_roots = parlib::filter(
+      parlib::iota<vertex_id>(n),
+      [&](vertex_id v) { return f.parents[v] != v && f.parents[v] != kNoVertex; });
+  std::size_t bits = 1;
+  while ((n >> bits) != 0) ++bits;
+  auto by_parent = non_roots;
+  parlib::integer_sort_inplace(
+      by_parent, [&](vertex_id v) { return f.parents[v]; }, bits);
+  f.children = by_parent;
+  f.child_offsets.assign(n + 1, 0);
+  parlib::parallel_for(0, by_parent.size(), [&](std::size_t i) {
+    if (i == 0 || f.parents[by_parent[i - 1]] != f.parents[by_parent[i]]) {
+      f.child_offsets[f.parents[by_parent[i]]] = i;
+    }
+  });
+  f.child_offsets[n] = by_parent.size();
+  {
+    std::vector<std::uint8_t> has(n, 0);
+    parlib::parallel_for(0, by_parent.size(), [&](std::size_t i) {
+      if (i == 0 || f.parents[by_parent[i - 1]] != f.parents[by_parent[i]]) {
+        has[f.parents[by_parent[i]]] = 1;
+      }
+    });
+    edge_id next = by_parent.size();
+    for (std::size_t v = n; v-- > 0;) {
+      if (has[v]) {
+        next = f.child_offsets[v];
+      } else {
+        f.child_offsets[v] = next;
+      }
+    }
+  }
+  // Waves.
+  f.level.assign(n, 0);
+  f.waves.push_back(roots);
+  while (true) {
+    const auto& wave = f.waves.back();
+    parlib::sequence<parlib::sequence<vertex_id>> next(wave.size());
+    parlib::parallel_for(0, wave.size(), [&](std::size_t i) {
+      const vertex_id v = wave[i];
+      for (edge_id c = f.child_offsets[v]; c < f.child_offsets[v + 1]; ++c) {
+        next[i].push_back(f.children[c]);
+      }
+    });
+    auto flat = parlib::flatten(next);
+    if (flat.empty()) break;
+    const auto depth = static_cast<std::uint32_t>(f.waves.size());
+    parlib::parallel_for(0, flat.size(),
+                         [&](std::size_t i) { f.level[flat[i]] = depth; });
+    f.waves.push_back(std::move(flat));
+  }
+  return f;
+}
+
+struct biconnectivity_result {
+  std::vector<vertex_id> parents;        // BFS forest
+  std::vector<std::uint32_t> level;      // forest depth
+  std::vector<vertex_id> vertex_labels;  // CC labels of G \ critical edges
+  std::uint64_t num_critical_edges = 0;
+
+  // Biconnectivity label of edge (u, v) in O(1).
+  vertex_id edge_label(vertex_id u, vertex_id v) const {
+    if (parents[u] == v) return vertex_labels[u];
+    if (parents[v] == u) return vertex_labels[v];
+    return vertex_labels[level[u] > level[v] ? u : v];
+  }
+};
+
+template <typename Graph>
+biconnectivity_result biconnectivity(const Graph& g) {
+  const vertex_id n = g.num_vertices();
+  auto sf = spanning_forest(g);
+  auto forest = build_rooted_forest(std::move(sf.parents), sf.roots);
+  const auto& parents = forest.parents;
+
+  // Leaffix: subtree sizes, bottom-up over waves.
+  std::vector<std::uint64_t> size(n, 1);
+  for (std::size_t d = forest.waves.size(); d-- > 0;) {
+    const auto& wave = forest.waves[d];
+    parlib::parallel_for(0, wave.size(), [&](std::size_t i) {
+      const vertex_id v = wave[i];
+      std::uint64_t s = 1;
+      for (edge_id c = forest.child_offsets[v];
+           c < forest.child_offsets[v + 1]; ++c) {
+        s += size[forest.children[c]];
+      }
+      size[v] = s;
+    });
+  }
+
+  // Preorder numbers: trees are laid out consecutively (offset = prefix sum
+  // of root subtree sizes); within a tree, rootfix top-down.
+  std::vector<std::uint64_t> pre(n, 0);
+  {
+    auto tree_sizes = parlib::map(
+        sf.roots, [&](vertex_id r) { return size[r]; });
+    parlib::scan_inplace(tree_sizes);
+    parlib::parallel_for(0, sf.roots.size(), [&](std::size_t i) {
+      pre[sf.roots[i]] = tree_sizes[i];
+    });
+  }
+  for (const auto& wave : forest.waves) {
+    parlib::parallel_for(0, wave.size(), [&](std::size_t i) {
+      const vertex_id v = wave[i];
+      std::uint64_t next = pre[v] + 1;
+      for (edge_id c = forest.child_offsets[v];
+           c < forest.child_offsets[v + 1]; ++c) {
+        const vertex_id ch = forest.children[c];
+        pre[ch] = next;
+        next += size[ch];
+      }
+    });
+  }
+
+  // Leaffix Low/High over preorder numbers of non-tree neighbors.
+  std::vector<std::uint64_t> low(n), high(n);
+  parlib::parallel_for(0, n, [&](std::size_t vi) {
+    const auto v = static_cast<vertex_id>(vi);
+    std::uint64_t lo = pre[v], hi = pre[v];
+    g.decode_out_break(v, [&](vertex_id, vertex_id w, auto) {
+      const bool tree_edge = parents[v] == w || parents[w] == v;
+      if (!tree_edge) {
+        lo = std::min(lo, pre[w]);
+        hi = std::max(hi, pre[w]);
+      }
+      return true;
+    });
+    low[v] = lo;
+    high[v] = hi;
+  });
+  for (std::size_t d = forest.waves.size(); d-- > 0;) {
+    const auto& wave = forest.waves[d];
+    parlib::parallel_for(0, wave.size(), [&](std::size_t i) {
+      const vertex_id v = wave[i];
+      for (edge_id c = forest.child_offsets[v];
+           c < forest.child_offsets[v + 1]; ++c) {
+        const vertex_id ch = forest.children[c];
+        low[v] = std::min(low[v], low[ch]);
+        high[v] = std::max(high[v], high[ch]);
+      }
+    });
+  }
+
+  // Critical tree edges (u, p(u)): subtree(u) never escapes subtree(p(u)).
+  std::vector<std::uint8_t> critical(n, 0);  // indexed by child u
+  parlib::parallel_for(0, n, [&](std::size_t ui) {
+    const auto u = static_cast<vertex_id>(ui);
+    const vertex_id p = parents[u];
+    if (p == u || p == kNoVertex) return;
+    if (pre[p] <= low[u] && high[u] < pre[p] + size[p]) critical[u] = 1;
+  });
+  const std::uint64_t num_critical = parlib::reduce_add(
+      parlib::map(critical, [](std::uint8_t c) -> std::uint64_t { return c; }));
+
+  // Connectivity of G with critical edges removed.
+  auto keep = [&](vertex_id a, vertex_id b, auto) {
+    if (parents[a] == b && critical[a]) return false;
+    if (parents[b] == a && critical[b]) return false;
+    return true;
+  };
+  auto residual = filter_graph(g, keep);
+  auto labels = connectivity(residual);
+
+  biconnectivity_result res;
+  res.parents = parents;
+  res.level = forest.level;
+  res.vertex_labels = std::move(labels);
+  res.num_critical_edges = num_critical;
+  return res;
+}
+
+}  // namespace gbbs

@@ -1,0 +1,72 @@
+// Connectivity (Algorithm 6, Shun-Dhulipala-Blelloch): O(m) expected work,
+// O(log^3 n) depth w.h.p. on the TS-MT-RAM. Each level runs a low-diameter
+// decomposition, contracts the clustering, and recurses until the quotient
+// has no edges; labels are then mapped back down the recursion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/contraction.h"
+#include "graph/graph.h"
+#include "algorithms/ldd.h"
+#include "parlib/parallel.h"
+#include "parlib/random.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs {
+
+namespace connectivity_internal {
+
+template <typename Graph>
+std::vector<vertex_id> connectivity_rec(const Graph& g, double beta,
+                                        parlib::random rng, int depth) {
+  const vertex_id n = g.num_vertices();
+  auto clusters = ldd(g, beta, rng);
+  auto contracted = contract(g, clusters);
+  // Labels of this level: v's cluster, renumbered densely.
+  auto level_labels = parlib::tabulate<vertex_id>(n, [&](std::size_t v) {
+    return contracted.cluster_to_vertex[clusters[v]];
+  });
+  if (contracted.quotient.num_edges() == 0) {
+    return level_labels;
+  }
+  // If a round failed to shrink the graph (possible on tiny inputs when all
+  // shift draws land in the same unit interval), halve beta so the next
+  // level's balls grow larger; this keeps the recursion finite without
+  // affecting the expected bounds.
+  const double next_beta =
+      contracted.quotient.num_vertices() == n ? beta * 0.5 : beta;
+  auto quot_labels = connectivity_rec(contracted.quotient, next_beta,
+                                      rng.next(), depth + 1);
+  return parlib::tabulate<vertex_id>(n, [&](std::size_t v) {
+    return quot_labels[level_labels[v]];
+  });
+}
+
+}  // namespace connectivity_internal
+
+// Component labels in [0, #clusters-at-top-level); two vertices share a
+// label iff they are connected.
+template <typename Graph>
+std::vector<vertex_id> connectivity(const Graph& g, double beta = 0.2,
+                                    parlib::random rng = parlib::random(
+                                        0xcc)) {
+  return connectivity_internal::connectivity_rec(g, beta, rng, 0);
+}
+
+// One representative vertex per connected component: the minimum vertex id
+// carrying each label.
+inline std::vector<vertex_id> component_representatives(
+    const std::vector<vertex_id>& labels) {
+  const std::size_t n = labels.size();
+  std::vector<vertex_id> rep_of_label(n, kNoVertex);
+  parlib::parallel_for(0, n, [&](std::size_t v) {
+    parlib::write_min(&rep_of_label[labels[v]],
+                      static_cast<vertex_id>(v));
+  });
+  return parlib::filter(rep_of_label,
+                        [](vertex_id r) { return r != kNoVertex; });
+}
+
+}  // namespace gbbs

@@ -1,0 +1,113 @@
+// Maximal matching (Algorithm 11, prefix-based): O(m) expected work,
+// O(log^3 m / log log m) depth w.h.p. on the PW-MT-RAM.
+//
+// Edges receive random priorities. Per Section 4, a constant number of
+// filtering steps each extract the ~3n/2 highest-priority (lowest key)
+// remaining edges, run the parallel greedy matcher on the prefix (an edge
+// joins the matching when it is the best-priority edge at both endpoints),
+// and then pack out edges incident to matched vertices.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "parlib/atomics.h"
+#include "parlib/parallel.h"
+#include "parlib/random.h"
+#include "parlib/sequence_ops.h"
+#include "parlib/sort.h"
+
+namespace gbbs {
+
+namespace mm_internal {
+
+struct prio_edge {
+  vertex_id u, v;
+  std::uint64_t pri;  // random priority; unique w.h.p.
+};
+
+inline constexpr std::uint64_t kNoPriority =
+    std::numeric_limits<std::uint64_t>::max();
+
+// Greedy matcher on a prefix: repeated rounds of "claim both endpoints with
+// priority-write(min), commit edges that won both".
+template <typename W>
+void greedy_match(std::vector<prio_edge> prefix,
+                  std::vector<std::uint8_t>& matched,
+                  std::vector<std::uint64_t>& best,
+                  std::vector<edge<W>>& matching) {
+  while (!prefix.empty()) {
+    parlib::parallel_for(0, prefix.size(), [&](std::size_t i) {
+      parlib::write_min(&best[prefix[i].u], prefix[i].pri);
+      parlib::write_min(&best[prefix[i].v], prefix[i].pri);
+    });
+    std::vector<std::uint8_t> won(prefix.size(), 0);
+    parlib::parallel_for(0, prefix.size(), [&](std::size_t i) {
+      const auto& e = prefix[i];
+      if (best[e.u] == e.pri && best[e.v] == e.pri) {
+        won[i] = 1;
+        matched[e.u] = 1;
+        matched[e.v] = 1;
+      }
+    });
+    auto winners = parlib::pack(prefix, won);
+    const std::size_t old = matching.size();
+    matching.resize(old + winners.size());
+    parlib::parallel_for(0, winners.size(), [&](std::size_t i) {
+      matching[old + i] = edge<W>{winners[i].u, winners[i].v, W{}};
+    });
+    // Reset priority slots and drop edges with a matched endpoint.
+    parlib::parallel_for(0, prefix.size(), [&](std::size_t i) {
+      best[prefix[i].u] = kNoPriority;
+      best[prefix[i].v] = kNoPriority;
+    });
+    prefix = parlib::filter(prefix, [&](const prio_edge& e) {
+      return !matched[e.u] && !matched[e.v];
+    });
+  }
+}
+
+}  // namespace mm_internal
+
+// Returns matched edges (one record per matched pair, u < v).
+template <typename Graph>
+std::vector<edge<typename Graph::weight_type>> maximal_matching(
+    const Graph& g, parlib::random rng = parlib::random(0x4242),
+    std::size_t filter_steps = 3) {
+  using W = typename Graph::weight_type;
+  const vertex_id n = g.num_vertices();
+  auto all = g.edges();
+  auto half = parlib::filter(all, [](const auto& e) { return e.u < e.v; });
+  std::vector<mm_internal::prio_edge> edges(half.size());
+  parlib::parallel_for(0, half.size(), [&](std::size_t i) {
+    // High bits random, low bits the edge index: priorities are unique (so
+    // two edges can never both claim an endpoint) and below kNoPriority.
+    edges[i] = {half[i].u, half[i].v,
+                ((rng.ith_rand(i) & 0x7FFFFFFFull) << 32) |
+                    static_cast<std::uint32_t>(i)};
+  });
+
+  std::vector<std::uint8_t> matched(n, 0);
+  std::vector<std::uint64_t> best(n, mm_internal::kNoPriority);
+  std::vector<edge<W>> matching;
+
+  const std::size_t target = 3 * static_cast<std::size_t>(n) / 2 + 1;
+  for (std::size_t step = 0;
+       step < filter_steps && edges.size() > 2 * target; ++step) {
+    auto pris = parlib::map(edges, [](const auto& e) { return e.pri; });
+    const std::uint64_t pivot = parlib::approximate_kth_smallest(
+        pris, target, parlib::random(0x77 + step));
+    auto prefix = parlib::filter(
+        edges, [&](const auto& e) { return e.pri <= pivot; });
+    mm_internal::greedy_match<W>(std::move(prefix), matched, best, matching);
+    edges = parlib::filter(edges, [&](const auto& e) {
+      return e.pri > pivot && !matched[e.u] && !matched[e.v];
+    });
+  }
+  mm_internal::greedy_match<W>(std::move(edges), matched, best, matching);
+  return matching;
+}
+
+}  // namespace gbbs

@@ -1,0 +1,285 @@
+// Strongly connected components (Algorithm 8, Blelloch-Gu-Shun-Sun):
+// O(m log n) expected work, O(diam(G) log n) depth w.h.p. on the PW-MT-RAM.
+//
+// Vertices are randomly permuted and processed in exponentially growing
+// batches of centers. Each phase runs simultaneous forward and backward
+// BFS from the phase's centers, restricted to each center's current
+// subproblem; the reachability sets are (vertex, center) pairs stored in the
+// probe-clustered hash multimap of Section 5 ("Techniques for overlapping
+// searches"). Vertices visited by a center in both directions form that
+// center's SCC (done, labeled by the minimum such center); vertices visited
+// in exactly one direction refine their subproblem to the minimum visiting
+// center. Table-capacity bounds are recomputed with a parallel reduce
+// before each BFS round, exactly as the paper describes.
+//
+// Optimizations from Section 4: iterative trimming of zero in/out-degree
+// vertices, and a bit-vector single-pivot first phase that peels the giant
+// SCC before any hash table is allocated.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/vertex_subset.h"
+#include "parlib/atomics.h"
+#include "parlib/hash_table.h"
+#include "parlib/parallel.h"
+#include "parlib/random.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs {
+
+struct scc_options {
+  double beta = 2.0;        // batch growth rate
+  bool trim = true;         // iterative zero-degree trimming
+  bool single_pivot = true; // bit-vector first phase
+  std::size_t max_trim_rounds = 8;
+  parlib::random rng = parlib::random(0x5cc);
+};
+
+namespace scc_internal {
+
+inline constexpr vertex_id kUnlabeled = kNoVertex;
+
+// One direction of the multi-search: BFS from `centers` over `g` (forward:
+// out-edges; backward: in-edges), visiting only vertices whose current
+// subproblem label equals the center's snapshot label, writing (v, c) pairs.
+template <typename Graph, bool Forward>
+parlib::reachability_table multi_search(
+    const Graph& g, const std::vector<vertex_id>& centers,
+    const std::vector<vertex_id>& labels, const std::vector<std::uint8_t>& done) {
+  const vertex_id n = g.num_vertices();
+  // Center c searches within subproblem labels[c]; snapshot them.
+  std::vector<vertex_id> center_sub(centers.size());
+  parlib::parallel_for(0, centers.size(), [&](std::size_t i) {
+    center_sub[i] = labels[centers[i]];
+  });
+  // Initial capacity: centers + slack; grows geometrically via rebuild.
+  parlib::reachability_table table(std::max<std::size_t>(
+      256, centers.size() * 4));
+  std::vector<std::uint8_t> on_frontier(n, 0);
+  std::vector<vertex_id> frontier(centers.size());
+  std::size_t table_count = 0;
+  parlib::parallel_for(0, centers.size(), [&](std::size_t i) {
+    table.insert(centers[i], static_cast<vertex_id>(i));
+    frontier[i] = centers[i];
+    on_frontier[centers[i]] = 1;
+  });
+  table_count = centers.size();
+
+  while (!frontier.empty()) {
+    // Upper-bound this round's insertions: sum over u in frontier of
+    // (#labels of u) * degree(u), then grow the table if needed (Section 5).
+    auto bounds = parlib::map(frontier, [&](vertex_id u) {
+      const std::uint64_t deg = Forward ? g.out_degree(u) : g.in_degree(u);
+      return static_cast<std::uint64_t>(table.count_labels(u)) * deg;
+    });
+    const std::uint64_t bound = parlib::reduce_add(bounds);
+    if ((table_count + bound) * 2 > table.capacity()) {
+      parlib::reachability_table bigger((table_count + bound) * 2);
+      auto entries = table.entries();
+      parlib::parallel_for(0, entries.size(), [&](std::size_t i) {
+        bigger.insert(static_cast<vertex_id>(entries[i] >> 32),
+                      static_cast<vertex_id>(entries[i] & 0xFFFFFFFFu));
+      });
+      table = std::move(bigger);
+    }
+    parlib::parallel_for(0, frontier.size(),
+                         [&](std::size_t i) { on_frontier[frontier[i]] = 0; });
+    // Per-worker insertion counts avoid a contended global counter.
+    std::vector<std::uint64_t> added(parlib::num_workers(), 0);
+    std::vector<std::uint8_t> next_flag(n, 0);
+    parlib::parallel_for(
+        0, frontier.size(),
+        [&](std::size_t i) {
+          const vertex_id u = frontier[i];
+          auto visit = [&](vertex_id, vertex_id v, auto) {
+            if (done[v]) return;
+            bool any = false;
+            table.for_each_label(u, [&](vertex_id ci) {
+              if (labels[v] != center_sub[ci]) return;
+              if (!table.contains(v, ci)) {
+                if (table.insert(v, ci)) {
+                  ++added[parlib::worker_id()];
+                  any = true;
+                }
+              }
+            });
+            if (any && !next_flag[v]) parlib::test_and_set(&next_flag[v]);
+          };
+          if constexpr (Forward) {
+            g.map_out(u, visit, /*par=*/false);
+          } else {
+            g.map_in(u, visit, /*par=*/false);
+          }
+        },
+        1);
+    table_count += parlib::reduce_add(added);
+    frontier = parlib::pack_index<vertex_id>(next_flag);
+  }
+  return table;
+}
+
+}  // namespace scc_internal
+
+struct scc_result {
+  std::vector<vertex_id> labels;  // SCC id per vertex
+  std::size_t num_phases = 0;
+};
+
+template <typename Graph>
+scc_result scc(const Graph& g, scc_options opts = {}) {
+  const vertex_id n = g.num_vertices();
+  std::vector<vertex_id> labels(n, scc_internal::kUnlabeled);
+  std::vector<std::uint8_t> done(n, 0);
+  scc_result res;
+  if (n == 0) return res;
+
+  // Final SCC label per vertex (assigned when done).
+  std::vector<vertex_id> scc_label(n, scc_internal::kUnlabeled);
+  vertex_id next_singleton_label = n;  // trimmed vertices get fresh labels
+
+  // --- Trimming: vertices with zero in- or out-degree among live vertices
+  // form singleton SCCs.
+  if (opts.trim) {
+    for (std::size_t round = 0; round < opts.max_trim_rounds; ++round) {
+      auto trivially_done = parlib::filter(
+          parlib::iota<vertex_id>(n), [&](vertex_id v) {
+            if (done[v]) return false;
+            const auto live_out = g.count_out(
+                v, [&](vertex_id, vertex_id u, auto) { return !done[u]; });
+            if (live_out == 0) return true;
+            std::size_t live_in = 0;
+            g.decode_in_break(v, [&](vertex_id, vertex_id u, auto) {
+              if (!done[u]) {
+                ++live_in;
+                return false;  // one is enough
+              }
+              return true;
+            });
+            return live_in == 0;
+          });
+      if (trivially_done.empty()) break;
+      parlib::parallel_for(0, trivially_done.size(), [&](std::size_t i) {
+        const vertex_id v = trivially_done[i];
+        done[v] = 1;
+        scc_label[v] = next_singleton_label + static_cast<vertex_id>(i);
+      });
+      next_singleton_label += static_cast<vertex_id>(trivially_done.size());
+    }
+  }
+
+  const auto perm = parlib::random_permutation(n, opts.rng);
+
+  // --- Single-pivot first phase: plain BFS bit-vectors from the first
+  // not-done vertex in permutation order (finds the giant SCC cheaply).
+  std::size_t perm_pos = 0;
+  if (opts.single_pivot) {
+    while (perm_pos < n && done[perm[perm_pos]]) ++perm_pos;
+    if (perm_pos < n) {
+      const vertex_id pivot = perm[perm_pos];
+      auto reach = [&](bool forward) {
+        std::vector<std::uint8_t> vis(n, 0);
+        vis[pivot] = 1;
+        std::vector<vertex_id> frontier{pivot};
+        while (!frontier.empty()) {
+          std::vector<std::uint8_t> next(n, 0);
+          parlib::parallel_for(0, frontier.size(), [&](std::size_t i) {
+            auto visit = [&](vertex_id, vertex_id v, auto) {
+              if (!done[v] && !vis[v] && parlib::test_and_set(&vis[v])) {
+                next[v] = 1;
+              }
+            };
+            if (forward) {
+              g.map_out(frontier[i], visit, false);
+            } else {
+              g.map_in(frontier[i], visit, false);
+            }
+          });
+          frontier = parlib::pack_index<vertex_id>(next);
+        }
+        return vis;
+      };
+      auto fwd = reach(true);
+      auto bwd = reach(false);
+      parlib::parallel_for(0, n, [&](std::size_t v) {
+        if (done[v]) return;
+        if (fwd[v] && bwd[v]) {
+          done[v] = 1;
+          scc_label[v] = pivot;
+        } else if (fwd[v]) {
+          labels[v] = 1;  // refined subproblems: fwd-only
+        } else if (bwd[v]) {
+          labels[v] = 2;  // bwd-only
+        }
+      });
+      ++perm_pos;
+      ++res.num_phases;
+    }
+  }
+
+  // --- Batched multi-search phases.
+  std::size_t batch = 1;
+  vertex_id center_priority_base = 4;  // label space above the pivot labels
+  while (perm_pos < n) {
+    const std::size_t take = std::min<std::size_t>(
+        static_cast<std::size_t>(batch), n - perm_pos);
+    auto candidates = parlib::tabulate<vertex_id>(
+        take, [&](std::size_t i) { return perm[perm_pos + i]; });
+    auto centers = parlib::filter(
+        candidates, [&](vertex_id v) { return !done[v]; });
+    perm_pos += take;
+    batch = static_cast<std::size_t>(batch * opts.beta) + 1;
+    if (centers.empty()) continue;
+    ++res.num_phases;
+
+    auto fwd = scc_internal::multi_search<Graph, true>(g, centers, labels,
+                                                       done);
+    auto bwd = scc_internal::multi_search<Graph, false>(g, centers, labels,
+                                                        done);
+
+    // Classify visited vertices. Center indices are per-phase; priority is
+    // the index within `centers` (respecting permutation order).
+    auto fwd_entries = fwd.entries();
+    auto bwd_entries = bwd.entries();
+    std::vector<vertex_id> both_min(n, scc_internal::kUnlabeled);
+    std::vector<vertex_id> xor_min(n, scc_internal::kUnlabeled);
+    parlib::parallel_for(0, fwd_entries.size(), [&](std::size_t i) {
+      const auto v = static_cast<vertex_id>(fwd_entries[i] >> 32);
+      const auto ci = static_cast<vertex_id>(fwd_entries[i] & 0xFFFFFFFFu);
+      if (bwd.contains(v, ci)) {
+        parlib::write_min(&both_min[v], ci);
+      } else {
+        parlib::write_min(&xor_min[v], ci);
+      }
+    });
+    parlib::parallel_for(0, bwd_entries.size(), [&](std::size_t i) {
+      const auto v = static_cast<vertex_id>(bwd_entries[i] >> 32);
+      const auto ci = static_cast<vertex_id>(bwd_entries[i] & 0xFFFFFFFFu);
+      if (!fwd.contains(v, ci)) {
+        // Backward-only: offset by centers.size() to separate the F\B and
+        // B\F sides of the same center into different subproblems.
+        parlib::write_min(&xor_min[v],
+                          static_cast<vertex_id>(ci + centers.size()));
+      }
+    });
+    parlib::parallel_for(0, n, [&](std::size_t v) {
+      if (done[v]) return;
+      if (both_min[v] != scc_internal::kUnlabeled) {
+        done[v] = 1;
+        scc_label[v] = centers[both_min[v]];
+      } else if (xor_min[v] != scc_internal::kUnlabeled) {
+        labels[v] = center_priority_base + xor_min[v];
+      }
+    });
+    center_priority_base += static_cast<vertex_id>(2 * centers.size());
+  }
+
+  res.labels = std::move(scc_label);
+  return res;
+}
+
+}  // namespace gbbs

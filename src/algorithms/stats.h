@@ -1,0 +1,112 @@
+// Graph statistics (Tables 3 and 8-13): effective diameter, component
+// counts and largest sizes (CC / BiCC / SCC), triangle count, colors used
+// by LF/LLF, MIS / matching / set-cover sizes, degeneracy kmax, and the
+// peeling complexity rho.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "algorithms/biconnectivity.h"
+#include "algorithms/coloring.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/kcore.h"
+#include "algorithms/maximal_matching.h"
+#include "algorithms/mis.h"
+#include "algorithms/scc.h"
+#include "algorithms/triangle.h"
+#include "graph/graph.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs {
+
+// Max BFS level observed from a few sources (a lower bound on the diameter;
+// the paper's "effective diameter" marked * in Table 3).
+template <typename Graph>
+std::uint32_t effective_diameter(const Graph& g, std::size_t samples = 4) {
+  const vertex_id n = g.num_vertices();
+  if (n == 0) return 0;
+  std::uint32_t diam = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const vertex_id src = static_cast<vertex_id>(
+        parlib::hash64(i * 0x9E37 + 1) % n);
+    auto dist = bfs(g, src);
+    for (auto d : dist) {
+      if (d != kInfDist) diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+template <typename LabelSeq>
+std::pair<std::size_t, std::size_t> count_and_largest(const LabelSeq& labels) {
+  std::unordered_map<vertex_id, std::size_t> sizes;
+  for (auto l : labels) sizes[l]++;
+  std::size_t largest = 0;
+  for (const auto& [l, s] : sizes) largest = std::max(largest, s);
+  return {sizes.size(), largest};
+}
+
+struct graph_statistics {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t num_edges = 0;
+  std::uint32_t effective_diameter = 0;
+  std::size_t num_cc = 0;
+  std::size_t largest_cc = 0;
+  std::size_t num_bicc = 0;
+  std::size_t num_scc = 0;        // directed inputs only
+  std::size_t largest_scc = 0;    // directed inputs only
+  std::uint64_t num_triangles = 0;
+  vertex_id colors_lf = 0;
+  vertex_id colors_llf = 0;
+  std::size_t mis_size = 0;
+  std::size_t matching_size = 0;
+  vertex_id kmax = 0;
+  std::size_t rho = 0;
+};
+
+// Statistics block for a symmetric graph (Tables 8-13 minus the directed
+// rows; SCC fields are filled by compute_directed_statistics).
+template <typename Graph>
+graph_statistics compute_statistics(const Graph& g) {
+  graph_statistics s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  s.effective_diameter = effective_diameter(g);
+  auto cc = connectivity(g);
+  std::tie(s.num_cc, s.largest_cc) = count_and_largest(cc);
+  {
+    auto bi = biconnectivity(g);
+    // Count distinct edge labels.
+    std::unordered_map<vertex_id, std::size_t> comps;
+    for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+      g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+        if (v < u) comps[bi.edge_label(v, u)]++;
+        return true;
+      });
+    }
+    s.num_bicc = comps.size();
+  }
+  s.num_triangles = triangle_count(g);
+  s.colors_lf = num_colors(color_graph(g, coloring_heuristic::lf));
+  s.colors_llf = num_colors(color_graph(g, coloring_heuristic::llf));
+  {
+    auto mis = mis_rootset(g);
+    s.mis_size = parlib::count_if(mis, [](std::uint8_t f) { return f != 0; });
+  }
+  s.matching_size = maximal_matching(g).size();
+  auto kc = kcore(g);
+  s.kmax = kc.max_core;
+  s.rho = kc.num_rounds;
+  return s;
+}
+
+template <typename Graph>
+void add_directed_statistics(const Graph& g_dir, graph_statistics& s) {
+  auto res = scc(g_dir);
+  std::tie(s.num_scc, s.largest_scc) = count_and_largest(res.labels);
+}
+
+}  // namespace gbbs

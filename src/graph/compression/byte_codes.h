@@ -1,0 +1,145 @@
+// Variable-length byte codes (Ligra+, Section B): 7 data bits per byte with
+// a continue bit, plus zigzag coding for the signed first-difference of each
+// block (first neighbor minus source vertex).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gbbs::bytecode {
+
+inline std::size_t encoded_size(std::uint64_t v) {
+  std::size_t bytes = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++bytes;
+  }
+  return bytes;
+}
+
+// Appends the varint encoding of v to out; returns bytes written.
+inline std::size_t encode(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  std::size_t bytes = 0;
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+    ++bytes;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+  return bytes + 1;
+}
+
+// Decodes a varint starting at data[pos]; advances pos.
+inline std::uint64_t decode(const std::uint8_t* data, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const std::uint8_t b = data[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  return v;
+}
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// ---- codec policies for the parallel-byte/nibble compressed graphs ------
+//
+// A codec measures positions in *units* (bytes for the byte code, nibbles
+// for the nibble code); a vertex's data region is always byte-aligned, so
+// parallel per-vertex encoding never races on a shared byte.
+
+// Ligra+'s byte code: 7 data bits + 1 continue bit per byte.
+struct byte_codec {
+  static std::size_t encoded_units(std::uint64_t v) {
+    std::size_t units = 1;
+    while (v >= 0x80) {
+      v >>= 7;
+      ++units;
+    }
+    return units;
+  }
+  static std::size_t bytes_for_units(std::size_t units) { return units; }
+  static void encode_at(std::uint8_t* data, std::size_t& upos,
+                        std::uint64_t v) {
+    while (v >= 0x80) {
+      data[upos++] = static_cast<std::uint8_t>(v) | 0x80;
+      v >>= 7;
+    }
+    data[upos++] = static_cast<std::uint8_t>(v);
+  }
+  static std::uint64_t decode(const std::uint8_t* data, std::size_t& upos) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t b = data[upos++];
+      v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+    }
+    return v;
+  }
+};
+
+// Ligra+'s nibble code: 3 data bits + 1 continue bit per nibble. Denser on
+// the tiny deltas of highly local graphs (grids, tori, reordered crawls),
+// at the cost of slower decoding.
+struct nibble_codec {
+  static std::size_t encoded_units(std::uint64_t v) {
+    std::size_t units = 1;
+    while (v >= 8) {
+      v >>= 3;
+      ++units;
+    }
+    return units;
+  }
+  static std::size_t bytes_for_units(std::size_t units) {
+    return (units + 1) / 2;
+  }
+  static void write_nibble(std::uint8_t* data, std::size_t upos,
+                           std::uint8_t nib) {
+    std::uint8_t& b = data[upos >> 1];
+    if (upos & 1) {
+      b = static_cast<std::uint8_t>((b & 0x0F) | (nib << 4));
+    } else {
+      b = static_cast<std::uint8_t>((b & 0xF0) | nib);
+    }
+  }
+  static std::uint8_t read_nibble(const std::uint8_t* data,
+                                  std::size_t upos) {
+    const std::uint8_t b = data[upos >> 1];
+    return (upos & 1) ? (b >> 4) : (b & 0x0F);
+  }
+  static void encode_at(std::uint8_t* data, std::size_t& upos,
+                        std::uint64_t v) {
+    while (v >= 8) {
+      write_nibble(data, upos++,
+                   static_cast<std::uint8_t>((v & 7) | 8));
+      v >>= 3;
+    }
+    write_nibble(data, upos++, static_cast<std::uint8_t>(v));
+  }
+  static std::uint64_t decode(const std::uint8_t* data, std::size_t& upos) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const std::uint8_t nib = read_nibble(data, upos++);
+      v |= static_cast<std::uint64_t>(nib & 7) << shift;
+      if (!(nib & 8)) break;
+      shift += 3;
+    }
+    return v;
+  }
+};
+
+}  // namespace gbbs::bytecode

@@ -1,0 +1,109 @@
+// Graph contraction (Connectivity, Algorithm 6): given cluster labels,
+// build the quotient graph with one vertex per non-empty cluster and one
+// edge per pair of adjacent clusters. Inter-cluster edges are deduplicated
+// with a phase-concurrent hash set, so the whole step is O(m) work.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "parlib/hash_table.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs {
+
+struct contraction_result {
+  graph<empty_weight> quotient;
+  // cluster label -> dense quotient vertex id (kNoVertex for empty labels).
+  std::vector<vertex_id> cluster_to_vertex;
+  // One representative original edge per unordered quotient edge, keyed by
+  // pack(min, max) of the quotient endpoints; the stored value packs the
+  // original endpoints with the min-side endpoint in the high word. Only
+  // populated by contract(..., keep_representatives=true); used by the
+  // LDD-based spanning forest to map quotient forest edges back.
+  parlib::concurrent_map edge_representatives{1};
+
+  std::pair<vertex_id, vertex_id> representative(vertex_id qu,
+                                                 vertex_id qv) const {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(std::min(qu, qv)) << 32) |
+        std::max(qu, qv);
+    const std::uint64_t packed = edge_representatives.find(key);
+    return {static_cast<vertex_id>(packed >> 32),
+            static_cast<vertex_id>(packed & 0xFFFFFFFFu)};
+  }
+};
+
+// labels[v] in [0, n) names v's cluster.
+template <typename Graph>
+contraction_result contract(const Graph& g,
+                            const std::vector<vertex_id>& labels,
+                            bool keep_representatives = false) {
+  const vertex_id n = g.num_vertices();
+  // Dense-renumber the used cluster labels.
+  std::vector<std::uint8_t> used(n, 0);
+  parlib::parallel_for(0, n, [&](std::size_t v) { used[labels[v]] = 1; });
+  auto cluster_ids = parlib::pack_index<vertex_id>(used);
+  const vertex_id n_quot = static_cast<vertex_id>(cluster_ids.size());
+  std::vector<vertex_id> cluster_to_vertex(n, kNoVertex);
+  parlib::parallel_for(0, cluster_ids.size(), [&](std::size_t i) {
+    cluster_to_vertex[cluster_ids[i]] = static_cast<vertex_id>(i);
+  });
+
+  // Count inter-cluster edges (upper bound for the dedupe table).
+  auto inter_counts = parlib::tabulate<std::uint64_t>(n, [&](std::size_t v) {
+    return g.count_out(static_cast<vertex_id>(v),
+                       [&](vertex_id u, vertex_id ngh, auto) {
+                         return labels[u] != labels[ngh];
+                       });
+  });
+  const std::uint64_t inter_total = parlib::reduce_add(inter_counts);
+  parlib::concurrent_set table(std::max<std::uint64_t>(inter_total, 1));
+  parlib::concurrent_map reps(
+      keep_representatives ? std::max<std::uint64_t>(inter_total, 1) : 1);
+  parlib::parallel_for(0, n, [&](std::size_t vi) {
+    const auto v = static_cast<vertex_id>(vi);
+    g.map_out(v, [&](vertex_id u, vertex_id ngh, auto) {
+      const vertex_id lu = cluster_to_vertex[labels[u]];
+      const vertex_id lv = cluster_to_vertex[labels[ngh]];
+      if (lu != lv) {
+        table.insert((static_cast<std::uint64_t>(lu) << 32) | lv);
+        if (keep_representatives) {
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(std::min(lu, lv)) << 32) |
+              std::max(lu, lv);
+          // Orient the original endpoints so the min quotient side's
+          // endpoint sits in the high word.
+          const std::uint64_t val =
+              lu < lv ? ((static_cast<std::uint64_t>(u) << 32) | ngh)
+                      : ((static_cast<std::uint64_t>(ngh) << 32) | u);
+          reps.insert(key, val);
+        }
+      }
+    });
+  });
+  auto packed = table.entries();
+  auto quot_edges = parlib::tabulate<edge<empty_weight>>(
+      packed.size(), [&](std::size_t i) {
+        return edge<empty_weight>{
+            static_cast<vertex_id>(packed[i] >> 32),
+            static_cast<vertex_id>(packed[i] & 0xFFFFFFFFu),
+            {}};
+      });
+  // The table already holds each direction of a symmetric input; building a
+  // symmetric graph re-inserts reversals and dedupes, which also makes
+  // contraction correct for asymmetric inputs.
+  auto quotient =
+      build_symmetric_graph<empty_weight>(n_quot, std::move(quot_edges));
+  contraction_result res;
+  res.quotient = std::move(quotient);
+  res.cluster_to_vertex = std::move(cluster_to_vertex);
+  res.edge_representatives = std::move(reps);
+  return res;
+}
+
+}  // namespace gbbs

@@ -1,0 +1,106 @@
+// Deterministic synthetic graph generators — the data substitute for the
+// paper's web crawls and social networks (see DESIGN.md §1):
+//   * rmat_edges:    skewed, low effective diameter, giant component —
+//                    the web/social regime (LiveJournal/Twitter/Hyperlink);
+//   * erdos_renyi:   uniform-degree regime (com-Orkut-like);
+//   * torus3d:       the paper's own high-diameter family (Section 6 and
+//                    Figure 1), each vertex joined to 2 neighbors per
+//                    dimension with wraparound;
+//   * grid2d/path/cycle/star/complete/binary_tree: structured graphs used
+//                    by tests and edge-case benches;
+//   * bipartite_cover: random set-cover instances (sets 0..s-1 covering
+//                    elements s..s+e-1).
+// All generators are pure functions of their seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "parlib/random.h"
+
+namespace gbbs {
+
+using edge_list = std::vector<edge<empty_weight>>;
+
+// num_edges directed edge samples from the R-MAT distribution on 2^scale
+// vertices with the standard (a,b,c,d) = (.57,.19,.19,.05) quadrant split.
+edge_list rmat_edges(std::uint32_t scale, std::size_t num_edges,
+                     std::uint64_t seed, double a = 0.57, double b = 0.19,
+                     double c = 0.19);
+
+// num_edges uniformly random directed edges on n vertices.
+edge_list erdos_renyi_edges(vertex_id n, std::size_t num_edges,
+                            std::uint64_t seed);
+
+// 3-dimensional torus with side^3 vertices; undirected edge list (each edge
+// listed once; symmetrize with build_symmetric_graph).
+edge_list torus3d_edges(vertex_id side);
+
+// 2-dimensional grid (no wraparound).
+edge_list grid2d_edges(vertex_id rows, vertex_id cols);
+
+edge_list path_edges(vertex_id n);
+edge_list cycle_edges(vertex_id n);
+edge_list star_edges(vertex_id n);          // center 0
+edge_list complete_edges(vertex_id n);
+edge_list binary_tree_edges(vertex_id n);   // node i -> 2i+1, 2i+2
+
+// Bipartite set-cover instance: `sets` set-vertices each covering
+// ~avg_degree random elements out of `elements`.
+edge_list bipartite_cover_edges(vertex_id sets, vertex_id elements,
+                                std::size_t avg_degree, std::uint64_t seed);
+
+// Attach deterministic uniform integer weights in [1, max_weight] to an
+// unweighted edge list (the paper draws from [1, log n); use
+// weight_range(n)). Weight depends only on the unordered endpoint pair, so
+// symmetrization preserves weight consistency.
+std::vector<edge<std::uint32_t>> with_random_weights(const edge_list& edges,
+                                                     std::uint32_t max_weight,
+                                                     std::uint64_t seed);
+
+inline std::uint32_t weight_range(vertex_id n) {
+  std::uint32_t b = 1;
+  while ((n >> b) != 0) ++b;
+  return b > 1 ? b - 1 : 1;
+}
+
+// ---- convenience builders used by tests, benches, and examples ----------
+
+inline graph<empty_weight> rmat_symmetric(std::uint32_t scale,
+                                          std::size_t num_edges,
+                                          std::uint64_t seed) {
+  return build_symmetric_graph<empty_weight>(vertex_id{1} << scale,
+                                             rmat_edges(scale, num_edges, seed));
+}
+
+inline graph<empty_weight> rmat_directed(std::uint32_t scale,
+                                         std::size_t num_edges,
+                                         std::uint64_t seed) {
+  return build_asymmetric_graph<empty_weight>(
+      vertex_id{1} << scale, rmat_edges(scale, num_edges, seed));
+}
+
+inline graph<std::uint32_t> rmat_symmetric_weighted(std::uint32_t scale,
+                                                    std::size_t num_edges,
+                                                    std::uint64_t seed) {
+  const vertex_id n = vertex_id{1} << scale;
+  return build_symmetric_graph<std::uint32_t>(
+      n, with_random_weights(rmat_edges(scale, num_edges, seed),
+                             weight_range(n), seed + 1));
+}
+
+inline graph<empty_weight> torus3d_symmetric(vertex_id side) {
+  const vertex_id n = side * side * side;
+  return build_symmetric_graph<empty_weight>(n, torus3d_edges(side));
+}
+
+inline graph<std::uint32_t> torus3d_symmetric_weighted(vertex_id side,
+                                                       std::uint64_t seed) {
+  const vertex_id n = side * side * side;
+  return build_symmetric_graph<std::uint32_t>(
+      n, with_random_weights(torus3d_edges(side), weight_range(n), seed));
+}
+
+}  // namespace gbbs

@@ -1,0 +1,300 @@
+// CSR graph representation (Section 3).
+//
+// A single template covers the four shapes the paper uses: symmetric /
+// asymmetric crossed with unweighted / integer-weighted. Unweighted graphs
+// use W = empty_weight, which occupies no storage. Asymmetric graphs carry
+// both the out-CSR and the in-CSR (the in-CSR is what the dense edgeMap
+// traverses); symmetric graphs alias the two.
+//
+// Adjacency lists are sorted by neighbor id and hold no duplicates or
+// self-loops (the builder enforces this), which is what the merge-based
+// triangle-counting intersection and the compressed format both rely on.
+//
+// Each vertex also carries a *live degree* that in-place neighborhood
+// packing (pack_out) may shrink — the primitive behind the work-efficient
+// approximate set cover (Algorithm 14 "Pack out neighbors of sets that are
+// covered").
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parlib/monoid.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs {
+
+using vertex_id = std::uint32_t;
+using edge_id = std::uint64_t;
+
+inline constexpr vertex_id kNoVertex = ~vertex_id{0};
+
+// Weight type of unweighted graphs; occupies no space in edge structs.
+struct empty_weight {
+  friend bool operator==(empty_weight, empty_weight) { return true; }
+  friend bool operator!=(empty_weight, empty_weight) { return false; }
+};
+
+template <typename W>
+struct edge {
+  vertex_id u;
+  vertex_id v;
+  [[no_unique_address]] W w;
+};
+
+template <typename W>
+class graph {
+ public:
+  using weight_type = W;
+
+  graph() = default;
+
+  // Takes ownership of prebuilt CSR arrays (use graph_builder to construct
+  // from edge lists). For symmetric graphs pass empty in_* arrays.
+  graph(vertex_id n, edge_id m, bool symmetric,
+        std::vector<edge_id> out_offsets, std::vector<vertex_id> out_edges,
+        std::vector<W> out_weights, std::vector<edge_id> in_offsets = {},
+        std::vector<vertex_id> in_edges = {}, std::vector<W> in_weights = {})
+      : n_(n),
+        m_(m),
+        symmetric_(symmetric),
+        out_offsets_(std::move(out_offsets)),
+        out_edges_(std::move(out_edges)),
+        out_weights_(std::move(out_weights)),
+        in_offsets_(std::move(in_offsets)),
+        in_edges_(std::move(in_edges)),
+        in_weights_(std::move(in_weights)) {
+    assert(out_offsets_.size() == static_cast<std::size_t>(n_) + 1);
+    out_live_deg_ = parlib::tabulate<vertex_id>(n_, [&](std::size_t v) {
+      return static_cast<vertex_id>(out_offsets_[v + 1] - out_offsets_[v]);
+    });
+  }
+
+  vertex_id num_vertices() const { return n_; }
+  edge_id num_edges() const { return m_; }
+  bool symmetric() const { return symmetric_; }
+
+  vertex_id out_degree(vertex_id v) const { return out_live_deg_[v]; }
+  vertex_id in_degree(vertex_id v) const {
+    if (symmetric_) return out_degree(v);
+    return static_cast<vertex_id>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  std::span<const vertex_id> out_neighbors(vertex_id v) const {
+    return {out_edges_.data() + out_offsets_[v], out_degree(v)};
+  }
+  std::span<const vertex_id> in_neighbors(vertex_id v) const {
+    if (symmetric_) return out_neighbors(v);
+    return {in_edges_.data() + in_offsets_[v], in_degree(v)};
+  }
+
+  W out_weight(vertex_id v, std::size_t j) const {
+    if constexpr (std::is_same_v<W, empty_weight>) {
+      return empty_weight{};
+    } else {
+      return out_weights_[out_offsets_[v] + j];
+    }
+  }
+  W in_weight(vertex_id v, std::size_t j) const {
+    if constexpr (std::is_same_v<W, empty_weight>) {
+      return empty_weight{};
+    } else {
+      return symmetric_ ? out_weights_[out_offsets_[v] + j]
+                        : in_weights_[in_offsets_[v] + j];
+    }
+  }
+
+  // ---- neighborhood primitives (shared interface with compressed_graph) --
+
+  // f(v, ngh, w) over out-neighbors; parallel for high degrees.
+  template <typename F>
+  void map_out(vertex_id v, const F& f, bool par = true) const {
+    const auto nghs = out_neighbors(v);
+    const auto base = out_offsets_[v];
+    auto body = [&](std::size_t j) { f(v, nghs[j], weight_at(base, j)); };
+    if (par && nghs.size() > 1024) {
+      parlib::parallel_for(0, nghs.size(), body);
+    } else {
+      for (std::size_t j = 0; j < nghs.size(); ++j) body(j);
+    }
+  }
+
+  template <typename F>
+  void map_in(vertex_id v, const F& f, bool par = true) const {
+    if (symmetric_) {
+      map_out(v, f, par);
+      return;
+    }
+    const auto nghs = in_neighbors(v);
+    const auto base = in_offsets_[v];
+    auto body = [&](std::size_t j) {
+      f(v, nghs[j], in_weight_at(base, j));
+    };
+    if (par && nghs.size() > 1024) {
+      parlib::parallel_for(0, nghs.size(), body);
+    } else {
+      for (std::size_t j = 0; j < nghs.size(); ++j) body(j);
+    }
+  }
+
+  // Sequential decode with early exit: f returns false to stop. Used by the
+  // optimized dense edgeMap (Section 3).
+  template <typename F>
+  void decode_out_break(vertex_id v, const F& f) const {
+    const auto nghs = out_neighbors(v);
+    const auto base = out_offsets_[v];
+    for (std::size_t j = 0; j < nghs.size(); ++j) {
+      if (!f(v, nghs[j], weight_at(base, j))) return;
+    }
+  }
+
+  template <typename F>
+  void decode_in_break(vertex_id v, const F& f) const {
+    if (symmetric_) {
+      decode_out_break(v, f);
+      return;
+    }
+    const auto nghs = in_neighbors(v);
+    const auto base = in_offsets_[v];
+    for (std::size_t j = 0; j < nghs.size(); ++j) {
+      if (!f(v, nghs[j], in_weight_at(base, j))) return;
+    }
+  }
+
+  // f over out-neighbor positions [j_lo, j_hi) — the random access the
+  // blocked edgeMap needs (Algorithm 15).
+  template <typename F>
+  void map_out_range(vertex_id v, std::size_t j_lo, std::size_t j_hi,
+                     const F& f) const {
+    const auto nghs = out_neighbors(v);
+    const auto base = out_offsets_[v];
+    for (std::size_t j = j_lo; j < j_hi && j < nghs.size(); ++j) {
+      f(v, nghs[j], weight_at(base, j));
+    }
+  }
+
+  template <typename M, typename F>
+  typename M::value_type reduce_out(vertex_id v, const F& f,
+                                    const M& monoid) const {
+    const auto nghs = out_neighbors(v);
+    const auto base = out_offsets_[v];
+    typename M::value_type acc = monoid.identity;
+    for (std::size_t j = 0; j < nghs.size(); ++j) {
+      acc = monoid.combine(acc, f(v, nghs[j], weight_at(base, j)));
+    }
+    return acc;
+  }
+
+  template <typename F>
+  std::size_t count_out(vertex_id v, const F& pred) const {
+    const auto nghs = out_neighbors(v);
+    const auto base = out_offsets_[v];
+    std::size_t c = 0;
+    for (std::size_t j = 0; j < nghs.size(); ++j) {
+      c += pred(v, nghs[j], weight_at(base, j)) ? 1 : 0;
+    }
+    return c;
+  }
+
+  // |N_out(u) ∩ N_out(v)| by sorted merge (triangle counting, Section A).
+  std::size_t intersect_out(vertex_id u, vertex_id v) const {
+    const auto a = out_neighbors(u);
+    const auto b = out_neighbors(v);
+    std::size_t i = 0, j = 0, c = 0;
+    while (i < a.size() && j < b.size()) {
+      if (a[i] < b[j]) {
+        ++i;
+      } else if (a[i] > b[j]) {
+        ++j;
+      } else {
+        ++c;
+        ++i;
+        ++j;
+      }
+    }
+    return c;
+  }
+
+  // In-place pack: keep out-neighbors satisfying pred(v, ngh, w), shrinking
+  // the live degree. Stable; preserves sortedness. O(deg(v)) work.
+  template <typename F>
+  void pack_out(vertex_id v, const F& pred) {
+    const auto base = out_offsets_[v];
+    const auto deg = out_degree(v);
+    std::size_t k = 0;
+    for (std::size_t j = 0; j < deg; ++j) {
+      const vertex_id ngh = out_edges_[base + j];
+      const W w = weight_at(base, j);
+      if (pred(v, ngh, w)) {
+        out_edges_[base + k] = ngh;
+        if constexpr (!std::is_same_v<W, empty_weight>) {
+          out_weights_[base + k] = w;
+        }
+        ++k;
+      }
+    }
+    out_live_deg_[v] = static_cast<vertex_id>(k);
+  }
+
+  // All out-edges as a flat list (respects live degrees).
+  std::vector<edge<W>> edges() const {
+    auto degs = parlib::tabulate<edge_id>(
+        n_, [&](std::size_t v) { return out_degree(static_cast<vertex_id>(v)); });
+    const edge_id total = parlib::scan_inplace(degs);
+    std::vector<edge<W>> out(total);
+    parlib::parallel_for(0, n_, [&](std::size_t v) {
+      const auto nghs = out_neighbors(static_cast<vertex_id>(v));
+      const auto base = out_offsets_[v];
+      for (std::size_t j = 0; j < nghs.size(); ++j) {
+        out[degs[v] + j] = {static_cast<vertex_id>(v), nghs[j],
+                            weight_at(base, j)};
+      }
+    });
+    return out;
+  }
+
+  std::size_t size_in_bytes() const {
+    return out_offsets_.size() * sizeof(edge_id) +
+           out_edges_.size() * sizeof(vertex_id) +
+           out_weights_.size() * sizeof(W) +
+           in_offsets_.size() * sizeof(edge_id) +
+           in_edges_.size() * sizeof(vertex_id) +
+           in_weights_.size() * sizeof(W);
+  }
+
+ private:
+  W weight_at(edge_id base, std::size_t j) const {
+    if constexpr (std::is_same_v<W, empty_weight>) {
+      return empty_weight{};
+    } else {
+      return out_weights_[base + j];
+    }
+  }
+  W in_weight_at(edge_id base, std::size_t j) const {
+    if constexpr (std::is_same_v<W, empty_weight>) {
+      return empty_weight{};
+    } else {
+      return in_weights_[base + j];
+    }
+  }
+
+  vertex_id n_ = 0;
+  edge_id m_ = 0;
+  bool symmetric_ = true;
+  std::vector<edge_id> out_offsets_;
+  std::vector<vertex_id> out_edges_;
+  std::vector<W> out_weights_;
+  std::vector<edge_id> in_offsets_;
+  std::vector<vertex_id> in_edges_;
+  std::vector<W> in_weights_;
+  std::vector<vertex_id> out_live_deg_;
+};
+
+using unweighted_graph = graph<empty_weight>;
+using weighted_graph = graph<std::uint32_t>;
+
+}  // namespace gbbs

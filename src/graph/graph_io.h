@@ -1,0 +1,32 @@
+// Graph serialization: the Ligra AdjacencyGraph / WeightedAdjacencyGraph
+// text formats (for interoperability with Ligra/GBBS tooling) and a fast
+// binary format.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gbbs {
+
+// Text formats. Weighted variants read/write the trailing weights block.
+void write_adjacency_graph(const std::string& path,
+                           const graph<empty_weight>& g);
+void write_adjacency_graph(const std::string& path,
+                           const graph<std::uint32_t>& g);
+graph<empty_weight> read_adjacency_graph(const std::string& path,
+                                         bool symmetric);
+graph<std::uint32_t> read_weighted_adjacency_graph(const std::string& path,
+                                                   bool symmetric);
+
+// Binary format (magic, n, m, offsets, edges [, weights]).
+void write_binary_graph(const std::string& path,
+                        const graph<empty_weight>& g);
+void write_binary_graph(const std::string& path,
+                        const graph<std::uint32_t>& g);
+graph<empty_weight> read_binary_graph(const std::string& path,
+                                      bool symmetric);
+graph<std::uint32_t> read_weighted_binary_graph(const std::string& path,
+                                                bool symmetric);
+
+}  // namespace gbbs

@@ -1,0 +1,82 @@
+// The three atomic primitives of the paper's MT-RAM model (Section 3):
+// test-and-set (TS), fetch-and-add (FA), and priority-write (PW), plus the
+// generic CAS they are built from. Implemented with std::atomic_ref so they
+// work directly on elements of ordinary arrays.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+
+namespace parlib {
+
+// Atomically compare *loc with expected and set it to desired on match.
+template <typename T>
+bool atomic_cas(T* loc, T expected, T desired) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::atomic_ref<T> ref(*loc);
+  return ref.compare_exchange_strong(expected, desired,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire);
+}
+
+template <typename T>
+T atomic_load(const T* loc) {
+  std::atomic_ref<const T> ref(*loc);
+  return ref.load(std::memory_order_acquire);
+}
+
+template <typename T>
+void atomic_store(T* loc, T value) {
+  std::atomic_ref<T> ref(*loc);
+  ref.store(value, std::memory_order_release);
+}
+
+// test-and-set(&x): if x is 0, atomically set it to 1 and return true.
+template <typename T>
+bool test_and_set(T* loc) {
+  return atomic_load(loc) == T{0} && atomic_cas(loc, T{0}, T{1});
+}
+
+// fetch-and-add(&x): atomically x += delta, returning the previous value.
+template <typename T>
+T fetch_and_add(T* loc, T delta) {
+  std::atomic_ref<T> ref(*loc);
+  return ref.fetch_add(delta, std::memory_order_acq_rel);
+}
+
+// Atomic x += delta for floating-point types (CAS loop); returns the
+// previous value. Used by betweenness centrality's path/dependency sums.
+template <typename T>
+T atomic_add(T* loc, T delta) {
+  T current = atomic_load(loc);
+  while (!atomic_cas(loc, current, current + delta)) {
+    current = atomic_load(loc);
+  }
+  return current;
+}
+
+// priority-write(&x, v, p): if p(v, x) holds, atomically install v (retrying
+// while it still beats the current value) and return true; else return false.
+template <typename T, typename Priority>
+bool priority_write(T* loc, T value, Priority higher_priority) {
+  T current = atomic_load(loc);
+  while (higher_priority(value, current)) {
+    if (atomic_cas(loc, current, value)) return true;
+    current = atomic_load(loc);
+  }
+  return false;
+}
+
+template <typename T>
+bool write_min(T* loc, T value) {
+  return priority_write(loc, value, std::less<T>());
+}
+
+template <typename T>
+bool write_max(T* loc, T value) {
+  return priority_write(loc, value, std::greater<T>());
+}
+
+}  // namespace parlib

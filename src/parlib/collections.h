@@ -1,0 +1,82 @@
+// Higher-level parallel collection operations built on the sorts:
+// merge (two sorted sequences), remove_duplicates, and group_by — the
+// utilities PBBS exposes next to the core primitives. All are O(n log n)
+// work or better with polylogarithmic depth.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "parlib/integer_sort.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+#include "parlib/sort.h"
+
+namespace parlib {
+
+// Merge two sorted sequences into one sorted sequence (stable: ties take
+// from `a` first). O(n) work, polylog depth via dual binary search.
+template <typename T, typename Less = std::less<T>>
+std::vector<T> merge(const std::vector<T>& a, const std::vector<T>& b,
+                     const Less& less = Less{}) {
+  std::vector<T> joined(a.size() + b.size());
+  // Reuse the internal parallel merge by laying both inputs in one buffer.
+  std::vector<T> src(a.size() + b.size());
+  parallel_for(0, a.size(), [&](std::size_t i) { src[i] = a[i]; });
+  parallel_for(0, b.size(),
+               [&](std::size_t i) { src[a.size() + i] = b[i]; });
+  internal::parallel_merge(src, 0, a.size(), a.size(), src.size(), joined, 0,
+                           less);
+  return joined;
+}
+
+// Distinct values of an integer-keyed sequence, sorted ascending.
+// O(n) work via radix sort + adjacent-unique pack.
+template <typename T, typename KeyFn>
+std::vector<T> remove_duplicates(std::vector<T> in, const KeyFn& key_of) {
+  if (in.size() <= 1) return in;
+  integer_sort_inplace(in, key_of);
+  auto keep = tabulate<std::uint8_t>(in.size(), [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i == 0 ||
+                                     key_of(in[i - 1]) != key_of(in[i]));
+  });
+  return pack(in, keep);
+}
+
+inline std::vector<std::uint32_t> remove_duplicates(
+    std::vector<std::uint32_t> in) {
+  return remove_duplicates(std::move(in),
+                           [](std::uint32_t x) { return x; });
+}
+
+// Group (key, value) pairs by key: returns one (key, values...) group per
+// distinct key, keys ascending, values in input order (stable radix sort).
+template <typename K, typename V>
+std::vector<std::pair<K, std::vector<V>>> group_by(
+    std::vector<std::pair<K, V>> pairs) {
+  using Group = std::pair<K, std::vector<V>>;
+  if (pairs.empty()) return {};
+  integer_sort_inplace(pairs, [](const auto& kv) { return kv.first; });
+  auto is_start = tabulate<std::uint8_t>(pairs.size(), [&](std::size_t i) {
+    return static_cast<std::uint8_t>(i == 0 ||
+                                     pairs[i - 1].first != pairs[i].first);
+  });
+  auto starts = pack_index<std::size_t>(is_start);
+  std::vector<Group> out(starts.size());
+  parallel_for(0, starts.size(), [&](std::size_t s) {
+    const std::size_t lo = starts[s];
+    const std::size_t hi = (s + 1 < starts.size()) ? starts[s + 1]
+                                                   : pairs.size();
+    out[s].first = pairs[lo].first;
+    out[s].second.resize(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      out[s].second[i - lo] = pairs[i].second;
+    }
+  });
+  return out;
+}
+
+}  // namespace parlib

@@ -1,0 +1,36 @@
+// Software event counters — the substitute for the hardware PCM counters of
+// Table 6 (cycles stalled / LLC misses / bytes of memory traffic). We count
+// the quantities the paper's locality argument is actually about:
+//   * bytes written by the sparse edgeMap variants (edgeMapSparse writes one
+//     slot per *edge*, edgeMapBlocked one slot per *live neighbor*);
+//   * fetch-and-add operations issued by the contended k-core variant vs
+//     histogram invocations of the low-contention variant.
+// Counters are updated with one atomic add per block/round (never per edge),
+// so enabling them does not perturb the measurement.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace parlib {
+
+struct event_counters {
+  std::atomic<std::uint64_t> edgemap_slots_written{0};
+  std::atomic<std::uint64_t> edgemap_edges_examined{0};
+  std::atomic<std::uint64_t> fetch_add_ops{0};
+  std::atomic<std::uint64_t> histogram_calls{0};
+
+  void reset() {
+    edgemap_slots_written = 0;
+    edgemap_edges_examined = 0;
+    fetch_add_ops = 0;
+    histogram_calls = 0;
+  }
+
+  static event_counters& global() {
+    static event_counters c;
+    return c;
+  }
+};
+
+}  // namespace parlib

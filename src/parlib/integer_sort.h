@@ -1,0 +1,149 @@
+// Parallel stable LSD radix sort on unsigned integer keys.
+//
+// Each 8-bit digit pass is a parallel counting sort: blocks count digit
+// occurrences locally, a column-major scan over the (block x bucket) count
+// matrix yields stable scatter offsets, and a final parallel pass scatters.
+// Work is O(n * ceil(bits/8)); for the word-sized keys used throughout the
+// library this is the O(n) integer sort assumed by the paper's semisort and
+// histogram primitives.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace parlib {
+
+namespace internal {
+
+inline constexpr std::size_t kRadixBits = 8;
+inline constexpr std::size_t kRadix = 1 << kRadixBits;
+
+template <typename T, typename KeyFn>
+void counting_sort_pass(std::vector<T>& in, std::vector<T>& out,
+                        const KeyFn& key_of, std::size_t shift) {
+  const std::size_t n = in.size();
+  const std::size_t block = std::max<std::size_t>(kSeqBlockSize, kRadix);
+  const std::size_t nb = num_blocks(n, block);
+  // counts[b * kRadix + d] = #elements with digit d in block b.
+  std::vector<std::size_t> counts(nb * kRadix, 0);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        std::size_t* c = counts.data() + b * kRadix;
+        for (std::size_t i = lo; i < hi; ++i) {
+          c[(key_of(in[i]) >> shift) & (kRadix - 1)]++;
+        }
+      },
+      1);
+  // Column-major exclusive scan: for stability, all of digit d in block 0
+  // precedes digit d in block 1, etc.
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < kRadix; ++d) {
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::size_t c = counts[b * kRadix + d];
+      counts[b * kRadix + d] = total;
+      total += c;
+    }
+  }
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        std::size_t* c = counts.data() + b * kRadix;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const std::size_t d = (key_of(in[i]) >> shift) & (kRadix - 1);
+          out[c[d]++] = in[i];
+        }
+      },
+      1);
+}
+
+}  // namespace internal
+
+// Stable-sorts `in` in place by key_of(x), which must return an unsigned
+// integer < 2^num_bits. num_bits = 0 means "derive from the maximum key".
+template <typename T, typename KeyFn>
+void integer_sort_inplace(std::vector<T>& in, const KeyFn& key_of,
+                          std::size_t num_bits = 0) {
+  const std::size_t n = in.size();
+  if (n <= 1) return;
+  if (num_bits == 0) {
+    using K = std::decay_t<decltype(key_of(in[0]))>;
+    auto mx = reduce(
+        map(in, [&](const T& x) { return key_of(x); }), max_monoid<K>());
+    num_bits = 1;
+    while ((static_cast<std::uint64_t>(mx) >> num_bits) != 0) ++num_bits;
+  }
+  std::vector<T> tmp(n);
+  std::vector<T>* src = &in;
+  std::vector<T>* dst = &tmp;
+  for (std::size_t shift = 0; shift < num_bits;
+       shift += internal::kRadixBits) {
+    internal::counting_sort_pass(*src, *dst, key_of, shift);
+    std::swap(src, dst);
+  }
+  if (src != &in) in.swap(tmp);
+}
+
+template <typename T, typename KeyFn>
+std::vector<T> integer_sort(std::vector<T> in, const KeyFn& key_of,
+                            std::size_t num_bits = 0) {
+  integer_sort_inplace(in, key_of, num_bits);
+  return in;
+}
+
+// Stable counting sort by a small key space [0, num_buckets); returns the
+// bucket start offsets (size num_buckets + 1).
+template <typename T, typename KeyFn>
+std::vector<std::size_t> counting_sort_inplace(std::vector<T>& in,
+                                               const KeyFn& key_of,
+                                               std::size_t num_buckets) {
+  const std::size_t n = in.size();
+  std::vector<std::size_t> bucket_starts(num_buckets + 1, 0);
+  if (n == 0) return bucket_starts;
+  const std::size_t block = std::max<std::size_t>(kSeqBlockSize, num_buckets);
+  const std::size_t nb = num_blocks(n, block);
+  std::vector<std::size_t> counts(nb * num_buckets, 0);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        std::size_t* c = counts.data() + b * num_buckets;
+        for (std::size_t i = lo; i < hi; ++i) c[key_of(in[i])]++;
+      },
+      1);
+  std::size_t total = 0;
+  for (std::size_t d = 0; d < num_buckets; ++d) {
+    bucket_starts[d] = total;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::size_t c = counts[b * num_buckets + d];
+      counts[b * num_buckets + d] = total;
+      total += c;
+    }
+  }
+  bucket_starts[num_buckets] = total;
+  std::vector<T> out(n);
+  parallel_for(
+      0, nb,
+      [&](std::size_t b) {
+        const std::size_t lo = b * block;
+        const std::size_t hi = std::min(n, lo + block);
+        std::size_t* c = counts.data() + b * num_buckets;
+        for (std::size_t i = lo; i < hi; ++i) out[c[key_of(in[i])]++] = in[i];
+      },
+      1);
+  in.swap(out);
+  return bucket_starts;
+}
+
+}  // namespace parlib

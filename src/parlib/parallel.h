@@ -1,0 +1,64 @@
+// parallel_for and helpers built on the fork-join scheduler.
+//
+// parallel_for(lo, hi, f) applies f to every index in [lo, hi) with
+// logarithmic-depth recursive splitting. The granularity (size below which a
+// range is run sequentially) is chosen automatically to give each active
+// worker a few dozen chunks, which is enough slack for work stealing to
+// balance skewed iterations; pass `granularity` explicitly for very cheap or
+// very expensive loop bodies.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "parlib/scheduler.h"
+
+namespace parlib {
+
+namespace internal {
+
+template <typename F>
+void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
+                      std::size_t granularity) {
+  const std::size_t n = hi - lo;
+  if (n <= granularity) {
+    for (std::size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  const std::size_t mid = lo + n / 2;
+  par_do([&] { parallel_for_rec(lo, mid, f, granularity); },
+         [&] { parallel_for_rec(mid, hi, f, granularity); });
+}
+
+}  // namespace internal
+
+inline std::size_t default_granularity(std::size_t n) {
+  const std::size_t workers = num_active_workers();
+  if (workers <= 1) return n;  // fully sequential
+  // ~32 chunks per worker, but never chunks smaller than 64 iterations so
+  // that trivial loop bodies do not drown in scheduling overhead.
+  return std::max<std::size_t>(64, n / (32 * workers) + 1);
+}
+
+template <typename F>
+void parallel_for(std::size_t lo, std::size_t hi, const F& f,
+                  std::size_t granularity = 0) {
+  if (hi <= lo) return;
+  if (granularity == 0) granularity = default_granularity(hi - lo);
+  internal::parallel_for_rec(lo, hi, f, granularity);
+}
+
+// Run both branches in parallel only if `cond` holds (used to cut off
+// parallelism below a size threshold in recursive algorithms).
+template <typename Lf, typename Rf>
+void par_do_if(bool cond, Lf&& left, Rf&& right) {
+  if (cond) {
+    par_do(std::forward<Lf>(left), std::forward<Rf>(right));
+  } else {
+    left();
+    right();
+  }
+}
+
+}  // namespace parlib

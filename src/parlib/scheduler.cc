@@ -1,0 +1,123 @@
+#include "parlib/scheduler.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace parlib {
+
+namespace {
+
+std::size_t& configured_workers() {
+  static std::size_t n = 0;  // 0 = not configured, use env / hardware
+  return n;
+}
+
+std::size_t default_num_workers() {
+  if (configured_workers() != 0) return configured_workers();
+  if (const char* env = std::getenv("PARLIB_NUM_WORKERS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+thread_local std::size_t tls_worker_id = 0;
+
+std::uint64_t mix_rng(std::uint64_t& state) {
+  // xorshift64*, good enough for victim selection.
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+scheduler& scheduler::instance() {
+  static scheduler s(default_num_workers());
+  return s;
+}
+
+void scheduler::set_num_workers(std::size_t n) {
+  configured_workers() = n == 0 ? 1 : n;
+}
+
+scheduler::scheduler(std::size_t num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers),
+      active_workers_(num_workers_),
+      deques_(num_workers_) {
+  threads_.reserve(num_workers_ - 1);
+  for (std::size_t id = 1; id < num_workers_; ++id) {
+    threads_.emplace_back([this, id] { worker_loop(id); });
+  }
+}
+
+scheduler::~scheduler() {
+  shutting_down_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+std::size_t scheduler::worker_id() const { return tls_worker_id; }
+
+void scheduler::set_active_workers(std::size_t n) {
+  if (n == 0) n = 1;
+  if (n > num_workers_) n = num_workers_;
+  active_workers_.store(n, std::memory_order_relaxed);
+}
+
+void scheduler::worker_loop(std::size_t id) {
+  tls_worker_id = id;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (id + 1);
+  std::size_t idle_spins = 0;
+  while (!shutting_down_.load(std::memory_order_acquire)) {
+    if (id >= num_active_workers() || !steal_and_run(rng)) {
+      if (++idle_spins > 64) {
+        std::this_thread::yield();
+        idle_spins = 0;
+      }
+    } else {
+      idle_spins = 0;
+    }
+  }
+}
+
+bool scheduler::steal_and_run(std::uint64_t& rng_state) {
+  const std::size_t active = num_active_workers();
+  // A couple of random probes, then a linear sweep so that a lone ready job
+  // is always found.
+  for (std::size_t attempt = 0; attempt < 2; ++attempt) {
+    const std::size_t victim = mix_rng(rng_state) % active;
+    if (internal::job* j = deques_[victim].steal()) {
+      j->execute();
+      j->done.store(true, std::memory_order_release);
+      return true;
+    }
+  }
+  for (std::size_t victim = 0; victim < active; ++victim) {
+    if (internal::job* j = deques_[victim].steal()) {
+      j->execute();
+      j->done.store(true, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+void scheduler::wait_for(internal::job& j) {
+  std::uint64_t rng =
+      0xBF58476D1CE4E5B9ULL * (tls_worker_id + 0x9E3779B9ULL);
+  std::size_t idle_spins = 0;
+  while (!j.done.load(std::memory_order_acquire)) {
+    if (!steal_and_run(rng)) {
+      if (++idle_spins > 64) {
+        std::this_thread::yield();
+        idle_spins = 0;
+      }
+    } else {
+      idle_spins = 0;
+    }
+  }
+}
+
+}  // namespace parlib

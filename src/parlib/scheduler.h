@@ -1,0 +1,188 @@
+// Work-stealing fork-join scheduler.
+//
+// This is the substrate the paper obtains from Cilk Plus: a nested-parallel
+// runtime whose work-stealing scheduler executes a computation with W work and
+// D depth in expected time W/P + O(D) on P workers (Blumofe & Leiserson).
+// The programming interface is `par_do` (fork two tasks, join both) plus the
+// `parallel_for` built on top of it in parallel.h; every algorithm in this
+// repository is written against those two calls only.
+//
+// Design (follows the classic child-stealing scheme):
+//  * one worker thread per hardware thread (configurable via the
+//    PARLIB_NUM_WORKERS environment variable or set_num_workers());
+//  * each worker owns a LIFO deque of jobs; the owner pushes and pops at the
+//    back, thieves steal from the front (oldest job = biggest subtree);
+//  * par_do(f, g) pushes g, runs f inline, then pops g if nobody stole it;
+//    if g was stolen the waiting worker helps by stealing other jobs until
+//    g's done flag is set;
+//  * the number of *active* workers can be lowered at runtime (used by the
+//    benchmark harness to measure T(1) and T(P) in one process): with one
+//    active worker par_do degenerates to sequential calls and no job is ever
+//    enqueued, so a "1-thread" measurement has no scheduling overhead.
+//
+// The deques are mutex-protected. A lock-free Chase-Lev deque would shave
+// constants, but steals are rare for the coarse tasks produced by our
+// granularity-controlled loops, and the mutex version is trivially correct
+// (pop_if verifies the popped job is the one this frame pushed, so a racing
+// thief can never cause a frame to execute a job belonging to an outer frame).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace parlib {
+
+namespace internal {
+
+// A unit of stealable work. Jobs live on the forking frame's stack; `done`
+// is the join flag the forking frame waits on when the job is stolen.
+class job {
+ public:
+  virtual ~job() = default;
+  virtual void execute() = 0;
+  std::atomic<bool> done{false};
+};
+
+template <typename F>
+class func_job final : public job {
+ public:
+  explicit func_job(F& f) : f_(f) {}
+  void execute() override { f_(); }
+
+ private:
+  F& f_;
+};
+
+// Owner pushes/pops at the back; thieves steal from the front.
+class work_deque {
+ public:
+  void push(job* j) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    items_.push_back(j);
+  }
+
+  // Pops the back element only if it is exactly `j`; returns whether it was.
+  // A failed pop_if means a thief stole `j` (our frame's pushes/pops are
+  // balanced, so if `j` is gone the back element belongs to an outer frame).
+  bool pop_if(job* j) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!items_.empty() && items_.back() == j) {
+      items_.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  job* steal() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (items_.empty()) return nullptr;
+    job* j = items_.front();
+    items_.erase(items_.begin());
+    return j;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return items_.empty();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<job*> items_;
+};
+
+}  // namespace internal
+
+class scheduler {
+ public:
+  // The process-wide scheduler. Created on first use with
+  // PARLIB_NUM_WORKERS (or hardware_concurrency) workers.
+  static scheduler& instance();
+
+  // Must be called before the first use of instance() to take effect.
+  static void set_num_workers(std::size_t n);
+
+  std::size_t num_workers() const { return num_workers_; }
+
+  // Worker id of the calling thread (0 for the main thread, and for any
+  // thread the scheduler does not know about).
+  std::size_t worker_id() const;
+
+  // Restrict execution to the first `n` workers (1 <= n <= num_workers()).
+  // With n == 1, par_do runs both branches inline sequentially.
+  void set_active_workers(std::size_t n);
+  std::size_t num_active_workers() const {
+    return active_workers_.load(std::memory_order_relaxed);
+  }
+
+  template <typename Lf, typename Rf>
+  void par_do(Lf&& left, Rf&& right) {
+    if (num_active_workers() == 1) {
+      left();
+      right();
+      return;
+    }
+    internal::func_job<Rf> rjob(right);
+    const std::size_t id = worker_id();
+    deques_[id].push(&rjob);
+    left();
+    if (deques_[id].pop_if(&rjob)) {
+      rjob.execute();
+    } else {
+      wait_for(rjob);
+    }
+  }
+
+  ~scheduler();
+
+  scheduler(const scheduler&) = delete;
+  scheduler& operator=(const scheduler&) = delete;
+
+ private:
+  explicit scheduler(std::size_t num_workers);
+
+  void worker_loop(std::size_t id);
+  // Steal one job from a random victim and run it; returns whether one ran.
+  bool steal_and_run(std::uint64_t& rng_state);
+  void wait_for(internal::job& j);
+
+  std::size_t num_workers_;
+  std::atomic<std::size_t> active_workers_;
+  std::atomic<bool> shutting_down_{false};
+  std::vector<internal::work_deque> deques_;
+  std::vector<std::thread> threads_;
+};
+
+inline std::size_t num_workers() { return scheduler::instance().num_workers(); }
+inline std::size_t num_active_workers() {
+  return scheduler::instance().num_active_workers();
+}
+inline std::size_t worker_id() { return scheduler::instance().worker_id(); }
+inline void set_active_workers(std::size_t n) {
+  scheduler::instance().set_active_workers(n);
+}
+
+// Fork-join: run `left` and `right` in parallel, return when both are done.
+template <typename Lf, typename Rf>
+void par_do(Lf&& left, Rf&& right) {
+  scheduler::instance().par_do(std::forward<Lf>(left), std::forward<Rf>(right));
+}
+
+// RAII guard for temporarily changing the active worker count (benchmarks).
+class active_workers_guard {
+ public:
+  explicit active_workers_guard(std::size_t n)
+      : saved_(num_active_workers()) {
+    set_active_workers(n);
+  }
+  ~active_workers_guard() { set_active_workers(saved_); }
+
+ private:
+  std::size_t saved_;
+};
+
+}  // namespace parlib

@@ -1,0 +1,64 @@
+// Concurrent union-find with CAS-based linking and path halving.
+// Used as the spanning-forest/connectivity oracle in tests and as the
+// union-find MSF baseline the paper compares against (PBBS-style).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parlib/atomics.h"
+#include "parlib/parallel.h"
+
+namespace parlib {
+
+class union_find {
+ public:
+  using id_t = std::uint32_t;
+
+  explicit union_find(std::size_t n) : parent_(n) {
+    parallel_for(0, n,
+                 [&](std::size_t i) { parent_[i] = static_cast<id_t>(i); });
+  }
+
+  // Find with path halving; safe to call concurrently with unite.
+  id_t find(id_t x) {
+    while (true) {
+      id_t p = atomic_load(&parent_[x]);
+      if (p == x) return x;
+      const id_t gp = atomic_load(&parent_[p]);
+      if (p == gp) return p;
+      atomic_cas(&parent_[x], p, gp);  // halve; ok if it fails
+      x = gp;
+    }
+  }
+
+  // Link roots by id order (higher root points to lower), retrying on races.
+  // Returns true if this call joined two distinct components.
+  bool unite(id_t a, id_t b) {
+    while (true) {
+      a = find(a);
+      b = find(b);
+      if (a == b) return false;
+      if (a < b) std::swap(a, b);  // a is the larger id; a -> b
+      if (atomic_cas(&parent_[a], a, b)) return true;
+    }
+  }
+
+  bool same_set(id_t a, id_t b) { return find(a) == find(b); }
+
+  std::size_t size() const { return parent_.size(); }
+
+  // Fully compress and return the labels array (label = root id).
+  std::vector<id_t> labels() {
+    std::vector<id_t> out(parent_.size());
+    parallel_for(0, parent_.size(),
+                 [&](std::size_t i) { out[i] = find(static_cast<id_t>(i)); });
+    return out;
+  }
+
+ private:
+  std::vector<id_t> parent_;
+};
+
+}  // namespace parlib

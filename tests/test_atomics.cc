@@ -1,0 +1,125 @@
+// Tests for the MT-RAM atomic primitives (test-and-set, fetch-and-add,
+// priority-write) under real parallel contention.
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parlib/atomics.h"
+#include "parlib/parallel.h"
+#include "parlib/random.h"
+
+namespace {
+
+TEST(Atomics, CasBasic) {
+  std::uint64_t x = 5;
+  EXPECT_TRUE(parlib::atomic_cas<std::uint64_t>(&x, 5, 9));
+  EXPECT_EQ(x, 9u);
+  EXPECT_FALSE(parlib::atomic_cas<std::uint64_t>(&x, 5, 11));
+  EXPECT_EQ(x, 9u);
+}
+
+TEST(Atomics, TestAndSetExactlyOneWinner) {
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint32_t flag = 0;
+    std::vector<int> won(256, 0);
+    parlib::parallel_for(
+        0, won.size(),
+        [&](std::size_t i) { won[i] = parlib::test_and_set(&flag) ? 1 : 0; },
+        1);
+    int winners = 0;
+    for (int w : won) winners += w;
+    ASSERT_EQ(winners, 1) << "trial " << trial;
+    ASSERT_EQ(flag, 1u);
+  }
+}
+
+TEST(Atomics, TestAndSetOnAlreadySetFails) {
+  std::uint8_t flag = 1;
+  EXPECT_FALSE(parlib::test_and_set(&flag));
+}
+
+TEST(Atomics, FetchAndAddCountsExactly) {
+  std::uint64_t counter = 0;
+  const std::size_t n = 50000;
+  parlib::parallel_for(0, n, [&](std::size_t) {
+    parlib::fetch_and_add<std::uint64_t>(&counter, 1);
+  });
+  EXPECT_EQ(counter, n);
+}
+
+TEST(Atomics, FetchAndAddReturnsPrevious) {
+  std::uint32_t x = 10;
+  EXPECT_EQ(parlib::fetch_and_add<std::uint32_t>(&x, 5), 10u);
+  EXPECT_EQ(x, 15u);
+}
+
+TEST(Atomics, WriteMinFindsGlobalMin) {
+  std::uint64_t loc = std::numeric_limits<std::uint64_t>::max();
+  const std::size_t n = 100000;
+  parlib::parallel_for(0, n, [&](std::size_t i) {
+    parlib::write_min<std::uint64_t>(&loc, parlib::hash64(i) % 1000000 + 1);
+  });
+  std::uint64_t expected = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < n; ++i) {
+    expected = std::min(expected, parlib::hash64(i) % 1000000 + 1);
+  }
+  EXPECT_EQ(loc, expected);
+}
+
+TEST(Atomics, WriteMaxFindsGlobalMax) {
+  std::int64_t loc = std::numeric_limits<std::int64_t>::lowest();
+  const std::size_t n = 65536;
+  parlib::parallel_for(0, n, [&](std::size_t i) {
+    parlib::write_max<std::int64_t>(
+        &loc, static_cast<std::int64_t>(parlib::hash64(i) % 999983));
+  });
+  std::int64_t expected = std::numeric_limits<std::int64_t>::lowest();
+  for (std::size_t i = 0; i < n; ++i) {
+    expected = std::max(expected,
+                        static_cast<std::int64_t>(parlib::hash64(i) % 999983));
+  }
+  EXPECT_EQ(loc, expected);
+}
+
+TEST(Atomics, PriorityWriteReturnValueMatchesEffect) {
+  std::uint32_t loc = 50;
+  EXPECT_TRUE(parlib::write_min<std::uint32_t>(&loc, 10));
+  EXPECT_EQ(loc, 10u);
+  EXPECT_FALSE(parlib::write_min<std::uint32_t>(&loc, 10));  // equal: no win
+  EXPECT_FALSE(parlib::write_min<std::uint32_t>(&loc, 30));
+  EXPECT_EQ(loc, 10u);
+}
+
+TEST(Atomics, PriorityWriteCustomPriority) {
+  // Priority on the low 8 bits only.
+  auto pri = [](std::uint32_t a, std::uint32_t b) {
+    return (a & 0xFF) < (b & 0xFF);
+  };
+  std::uint32_t loc = 0x0510;  // low byte 0x10
+  EXPECT_TRUE(parlib::priority_write<std::uint32_t>(&loc, 0x0903, pri));
+  EXPECT_EQ(loc, 0x0903u);
+  EXPECT_FALSE(parlib::priority_write<std::uint32_t>(&loc, 0x0104, pri));
+}
+
+TEST(Atomics, ParallelWriteMinPerSlot) {
+  const std::size_t slots = 512, updates = 40000;
+  std::vector<std::uint32_t> loc(slots,
+                                 std::numeric_limits<std::uint32_t>::max());
+  std::vector<std::uint32_t> expected(
+      slots, std::numeric_limits<std::uint32_t>::max());
+  for (std::size_t i = 0; i < updates; ++i) {
+    const auto s = parlib::hash64(i) % slots;
+    const auto v = static_cast<std::uint32_t>(parlib::hash64(i * 7 + 1));
+    expected[s] = std::min(expected[s], v);
+  }
+  parlib::parallel_for(0, updates, [&](std::size_t i) {
+    const auto s = parlib::hash64(i) % slots;
+    const auto v = static_cast<std::uint32_t>(parlib::hash64(i * 7 + 1));
+    parlib::write_min(&loc[s], v);
+  });
+  EXPECT_EQ(loc, expected);
+}
+
+}  // namespace

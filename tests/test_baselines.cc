@@ -1,0 +1,48 @@
+// The Section 6 comparator baselines must agree with the primary
+// implementations (their role in the benches is performance comparison).
+#include <string>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/baselines.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/msf.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+void expect_same_partition(const std::vector<vertex_id>& a,
+                           const std::vector<vertex_id>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::unordered_map<vertex_id, vertex_id> a2b, b2a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [ia, u1] = a2b.try_emplace(a[v], b[v]);
+    ASSERT_EQ(ia->second, b[v]) << v;
+    auto [ib, u2] = b2a.try_emplace(b[v], a[v]);
+    ASSERT_EQ(ib->second, a[v]) << v;
+  }
+}
+
+class BaselineSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, BaselineSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(BaselineSuite, UnionFindConnectivityMatchesLddConnectivity) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  expect_same_partition(gbbs::connectivity_union_find(g),
+                        gbbs::connectivity(g));
+}
+
+TEST_P(BaselineSuite, KruskalMatchesFilteredBoruvkaWeight) {
+  auto g = gbbs::testing::make_symmetric_weighted(GetParam());
+  auto kruskal = gbbs::msf_kruskal(g);
+  auto boruvka = gbbs::msf(g);
+  EXPECT_EQ(kruskal.total_weight, boruvka.total_weight);
+  EXPECT_EQ(kruskal.forest.size(), boruvka.forest.size());
+}
+
+}  // namespace

@@ -1,0 +1,85 @@
+// Betweenness centrality vs the sequential Brandes oracle.
+#include <cmath>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/betweenness.h"
+#include "graph/compression/compressed_graph.h"
+#include "seq/reference.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+class BcSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, BcSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(BcSuite, DependenciesMatchBrandes) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  if (g.num_vertices() == 0) return;
+  const vertex_id src = g.num_vertices() / 4;
+  auto got = gbbs::betweenness(g, src);
+  auto expected = gbbs::seq::betweenness(g, src);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t v = 0; v < got.size(); ++v) {
+    ASSERT_NEAR(got[v], expected[v],
+                1e-6 * std::max(1.0, std::abs(expected[v])))
+        << GetParam() << " v=" << v;
+  }
+}
+
+TEST(Bc, StarCenterCollectsAllPairs) {
+  // In a star with n leaves, all shortest paths between leaves pass the
+  // center: dependency of the center from a leaf source is (n-2) * 1.
+  const vertex_id n = 50;
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      n, gbbs::star_edges(n));
+  auto dep = gbbs::betweenness(g, 1);  // a leaf
+  EXPECT_DOUBLE_EQ(dep[0], static_cast<double>(n - 2));
+  for (vertex_id v = 1; v < n; ++v) EXPECT_DOUBLE_EQ(dep[v], 0.0);
+}
+
+TEST(Bc, PathInteriorDependencies) {
+  // Path 0-1-2-3-4 from source 0: delta[v] = #descendants beyond v.
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      5, gbbs::path_edges(5));
+  auto dep = gbbs::betweenness(g, 0);
+  EXPECT_DOUBLE_EQ(dep[1], 3.0);
+  EXPECT_DOUBLE_EQ(dep[2], 2.0);
+  EXPECT_DOUBLE_EQ(dep[3], 1.0);
+  EXPECT_DOUBLE_EQ(dep[4], 0.0);
+}
+
+TEST(Bc, MultiplePathsSplitCredit) {
+  // Square 0-1-3, 0-2-3: two shortest paths 0->3, each middle vertex gets
+  // dependency 0.5.
+  std::vector<gbbs::edge<gbbs::empty_weight>> edges = {
+      {0, 1, {}}, {0, 2, {}}, {1, 3, {}}, {2, 3, {}}};
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(4, edges);
+  auto dep = gbbs::betweenness(g, 0);
+  EXPECT_DOUBLE_EQ(dep[1], 0.5);
+  EXPECT_DOUBLE_EQ(dep[2], 0.5);
+  EXPECT_DOUBLE_EQ(dep[3], 0.0);
+}
+
+TEST(Bc, CompressedMatchesUncompressed) {
+  auto g = gbbs::testing::make_symmetric("rmat");
+  auto cg = gbbs::compressed_graph<gbbs::empty_weight>::compress(g);
+  auto a = gbbs::betweenness(g, 2);
+  auto b = gbbs::betweenness(cg, 2);
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    ASSERT_NEAR(a[v], b[v], 1e-9 * std::max(1.0, std::abs(a[v]))) << v;
+  }
+}
+
+TEST(Bc, SourceHasZeroDependency) {
+  auto g = gbbs::testing::make_symmetric("erdos_renyi");
+  auto dep = gbbs::betweenness(g, 10);
+  EXPECT_DOUBLE_EQ(dep[10], 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for merge / remove_duplicates / group_by.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parlib/collections.h"
+#include "parlib/random.h"
+
+namespace {
+
+class MergeSizes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+};
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MergeSizes,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(0, 10),
+                      std::make_pair(10, 0), std::make_pair(1, 1),
+                      std::make_pair(1000, 1), std::make_pair(5000, 5000),
+                      std::make_pair(100000, 30000)));
+
+TEST_P(MergeSizes, MatchesStdMerge) {
+  const auto [na, nb] = GetParam();
+  auto a = parlib::tabulate<std::uint32_t>(na, [](std::size_t i) {
+    return parlib::hash32(static_cast<std::uint32_t>(i)) % 100000;
+  });
+  auto b = parlib::tabulate<std::uint32_t>(nb, [](std::size_t i) {
+    return parlib::hash32(static_cast<std::uint32_t>(i + 77)) % 100000;
+  });
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  auto got = parlib::merge(a, b);
+  std::vector<std::uint32_t> expected(na + nb);
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), expected.begin());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(Merge, StableTiesPreferFirstInput) {
+  std::vector<std::pair<std::uint32_t, char>> a = {{1, 'a'}, {2, 'a'}};
+  std::vector<std::pair<std::uint32_t, char>> b = {{1, 'b'}, {2, 'b'}};
+  auto got = parlib::merge(a, b, [](const auto& x, const auto& y) {
+    return x.first < y.first;
+  });
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].second, 'a');
+  EXPECT_EQ(got[1].second, 'b');
+  EXPECT_EQ(got[2].second, 'a');
+  EXPECT_EQ(got[3].second, 'b');
+}
+
+TEST(RemoveDuplicates, ReturnsSortedDistinct) {
+  const std::size_t n = 100000;
+  auto v = parlib::tabulate<std::uint32_t>(n, [](std::size_t i) {
+    return static_cast<std::uint32_t>(parlib::hash64(i) % 997);
+  });
+  std::set<std::uint32_t> expected(v.begin(), v.end());
+  auto got = parlib::remove_duplicates(v);
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+}
+
+TEST(RemoveDuplicates, EmptyAndSingleton) {
+  EXPECT_TRUE(parlib::remove_duplicates(std::vector<std::uint32_t>{}).empty());
+  auto got = parlib::remove_duplicates(std::vector<std::uint32_t>{5});
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{5}));
+}
+
+TEST(RemoveDuplicates, CustomKeyKeepsFirstOccurrence) {
+  // Dedupe pairs by first; stable sort keeps the earliest second.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> v = {
+      {3, 100}, {1, 200}, {3, 300}, {1, 400}, {2, 500}};
+  auto got = parlib::remove_duplicates(
+      v, [](const auto& p) { return p.first; });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], (std::pair<std::uint32_t, std::uint32_t>{1, 200}));
+  EXPECT_EQ(got[1], (std::pair<std::uint32_t, std::uint32_t>{2, 500}));
+  EXPECT_EQ(got[2], (std::pair<std::uint32_t, std::uint32_t>{3, 100}));
+}
+
+TEST(GroupBy, GroupsMatchReference) {
+  const std::size_t n = 50000;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pairs[i] = {static_cast<std::uint32_t>(parlib::hash64(i) % 313),
+                static_cast<std::uint32_t>(i)};
+  }
+  std::map<std::uint32_t, std::vector<std::uint32_t>> expected;
+  for (const auto& [k, v] : pairs) expected[k].push_back(v);
+  auto got = parlib::group_by(pairs);
+  ASSERT_EQ(got.size(), expected.size());
+  std::uint32_t prev_key = 0;
+  for (std::size_t g = 0; g < got.size(); ++g) {
+    if (g > 0) ASSERT_GT(got[g].first, prev_key);  // keys ascending
+    prev_key = got[g].first;
+    ASSERT_EQ(got[g].second, expected[got[g].first]);  // stable order
+  }
+}
+
+TEST(GroupBy, EmptyInput) {
+  EXPECT_TRUE(
+      parlib::group_by(std::vector<std::pair<std::uint32_t, int>>{}).empty());
+}
+
+TEST(GroupBy, SingleKey) {
+  std::vector<std::pair<std::uint32_t, int>> pairs = {{7, 1}, {7, 2}, {7, 3}};
+  auto got = parlib::group_by(pairs);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 7u);
+  EXPECT_EQ(got[0].second, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Graph coloring: propriety, Delta+1 bound, LLF vs LF heuristics, shapes
+// with known chromatic structure.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/coloring.h"
+#include "graph/compression/compressed_graph.h"
+#include "seq/reference.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+template <typename Graph>
+vertex_id max_degree(const Graph& g) {
+  vertex_id d = 0;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    d = std::max(d, g.out_degree(v));
+  }
+  return d;
+}
+
+class ColoringSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ColoringSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(ColoringSuite, LlfIsProperAndWithinDeltaPlusOne) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  auto colors = gbbs::color_graph(g, gbbs::coloring_heuristic::llf);
+  EXPECT_TRUE(gbbs::seq::is_valid_coloring(g, colors, max_degree(g) + 1))
+      << GetParam();
+}
+
+TEST_P(ColoringSuite, LfIsProperAndWithinDeltaPlusOne) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  auto colors = gbbs::color_graph(g, gbbs::coloring_heuristic::lf);
+  EXPECT_TRUE(gbbs::seq::is_valid_coloring(g, colors, max_degree(g) + 1))
+      << GetParam();
+}
+
+TEST(Coloring, PathUsesTwoOrThreeColors) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      100, gbbs::path_edges(100));
+  auto colors = gbbs::color_graph(g);
+  EXPECT_LE(gbbs::num_colors(colors), 3u);
+}
+
+TEST(Coloring, CompleteGraphNeedsAllColors) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      25, gbbs::complete_edges(25));
+  auto colors = gbbs::color_graph(g);
+  EXPECT_EQ(gbbs::num_colors(colors), 25u);
+}
+
+TEST(Coloring, StarUsesTwoColors) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      128, gbbs::star_edges(128));
+  auto colors = gbbs::color_graph(g);
+  EXPECT_EQ(gbbs::num_colors(colors), 2u);
+}
+
+TEST(Coloring, EmptyGraphOneColor) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(10, {});
+  auto colors = gbbs::color_graph(g);
+  EXPECT_EQ(gbbs::num_colors(colors), 1u);
+}
+
+TEST(Coloring, BipartiteGridGetsFewColors) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      400, gbbs::grid2d_edges(20, 20));
+  auto colors = gbbs::color_graph(g);
+  // Greedy on a bipartite graph can exceed 2 but stays small.
+  EXPECT_LE(gbbs::num_colors(colors), 5u);
+}
+
+TEST(Coloring, SeedsProduceValidColorings) {
+  auto g = gbbs::testing::make_symmetric("rmat");
+  const auto bound = max_degree(g) + 1;
+  for (std::uint64_t seed : {3ull, 31ull, 314ull}) {
+    auto colors = gbbs::color_graph(g, gbbs::coloring_heuristic::llf,
+                                    parlib::random(seed));
+    ASSERT_TRUE(gbbs::seq::is_valid_coloring(g, colors, bound)) << seed;
+  }
+}
+
+TEST_P(ColoringSuite, AsyncIsProperAndWithinDeltaPlusOne) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  auto colors = gbbs::color_graph_async(g, gbbs::coloring_heuristic::llf);
+  EXPECT_TRUE(gbbs::seq::is_valid_coloring(g, colors, max_degree(g) + 1))
+      << GetParam();
+}
+
+TEST(Coloring, AsyncMatchesSyncExactly) {
+  // Both execute greedy coloring in the same priority order, so the result
+  // is the identical (deterministic) coloring, barriers or not.
+  auto g = gbbs::testing::make_symmetric("rmat");
+  auto sync_colors = gbbs::color_graph(g, gbbs::coloring_heuristic::llf,
+                                       parlib::random(5));
+  auto async_colors = gbbs::color_graph_async(
+      g, gbbs::coloring_heuristic::llf, parlib::random(5));
+  EXPECT_EQ(sync_colors, async_colors);
+}
+
+TEST(Coloring, AsyncOnLongPath) {
+  // A path is the worst case for activation chains; the balanced fork-join
+  // activation keeps it within stack limits.
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      20000, gbbs::path_edges(20000));
+  auto colors = gbbs::color_graph_async(g);
+  EXPECT_TRUE(gbbs::seq::is_valid_coloring(g, colors, 3));
+}
+
+TEST(Coloring, CompressedMatchesUncompressed) {
+  auto g = gbbs::testing::make_symmetric("torus");
+  auto cg = gbbs::compressed_graph<gbbs::empty_weight>::compress(g);
+  auto a = gbbs::color_graph(g, gbbs::coloring_heuristic::llf,
+                             parlib::random(9));
+  auto b = gbbs::color_graph(cg, gbbs::coloring_heuristic::llf,
+                             parlib::random(9));
+  EXPECT_TRUE(gbbs::seq::is_valid_coloring(g, b, max_degree(g) + 1));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Delta-stepping vs Dijkstra and vs wBFS, across deltas.
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/delta_stepping.h"
+#include "algorithms/wbfs.h"
+#include "seq/reference.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+class DeltaSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, DeltaSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(DeltaSuite, MatchesDijkstra) {
+  auto g = gbbs::testing::make_symmetric_weighted(GetParam());
+  if (g.num_vertices() == 0) return;
+  const vertex_id src = g.num_vertices() / 5;
+  auto got = gbbs::delta_stepping(g, src);
+  auto expected = gbbs::seq::dijkstra(g, src);
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    if (expected[v] == gbbs::seq::kInfDist64) {
+      ASSERT_EQ(got.dist[v], std::numeric_limits<std::uint32_t>::max()) << v;
+    } else {
+      ASSERT_EQ(static_cast<std::int64_t>(got.dist[v]), expected[v])
+          << GetParam() << " v=" << v;
+    }
+  }
+}
+
+TEST_P(DeltaSuite, AllDeltasAgreeWithWbfs) {
+  auto g = gbbs::testing::make_symmetric_weighted(GetParam(), 31);
+  if (g.num_vertices() == 0) return;
+  const vertex_id src = 0;
+  auto reference = gbbs::wbfs(g, src);
+  for (std::uint32_t delta : {1u, 2u, 5u, 100u}) {
+    auto got = gbbs::delta_stepping(g, src, delta);
+    ASSERT_EQ(got.dist, reference.dist) << GetParam() << " delta=" << delta;
+  }
+}
+
+TEST(DeltaStepping, DeltaOneDegeneratesToDialsBuckets) {
+  // With delta=1 every bucket is a single distance: bucket count equals the
+  // number of distinct finite distances.
+  std::vector<gbbs::edge<std::uint32_t>> edges;
+  for (vertex_id i = 0; i + 1 < 30; ++i) edges.push_back({i, i + 1, 1});
+  auto g = gbbs::build_symmetric_graph<std::uint32_t>(30, edges);
+  auto got = gbbs::delta_stepping(g, 0, 1);
+  EXPECT_EQ(got.num_buckets_processed, 30u);
+}
+
+TEST(DeltaStepping, LargeDeltaCollapsesToBellmanFordish) {
+  // Huge delta: a single bucket, all relaxation through the light phase.
+  auto g = gbbs::testing::make_symmetric_weighted("grid");
+  auto got = gbbs::delta_stepping(g, 0, 1u << 30);
+  auto expected = gbbs::seq::dijkstra(g, 0);
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    if (expected[v] != gbbs::seq::kInfDist64) {
+      ASSERT_EQ(static_cast<std::int64_t>(got.dist[v]), expected[v]);
+    }
+  }
+  EXPECT_LE(got.num_buckets_processed, 2u);
+}
+
+}  // namespace

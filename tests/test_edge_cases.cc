@@ -1,0 +1,173 @@
+// Degenerate-input robustness across every algorithm: empty graphs,
+// singletons, inputs consisting only of self-loops / duplicates, and
+// two-vertex graphs. These exercise the code paths that size-parameterized
+// sweeps skip (empty frontiers, empty buckets, zero-edge contraction).
+#include <gtest/gtest.h>
+
+#include "algorithms/bellman_ford.h"
+#include "algorithms/betweenness.h"
+#include "algorithms/bfs.h"
+#include "algorithms/biconnectivity.h"
+#include "algorithms/coloring.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/delta_stepping.h"
+#include "algorithms/kcore.h"
+#include "algorithms/ldd.h"
+#include "algorithms/maximal_matching.h"
+#include "algorithms/mis.h"
+#include "algorithms/msf.h"
+#include "algorithms/scc.h"
+#include "algorithms/spanning_forest.h"
+#include "algorithms/triangle.h"
+#include "algorithms/wbfs.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+
+gbbs::graph<empty_weight> empty_graph(vertex_id n) {
+  return gbbs::build_symmetric_graph<empty_weight>(n, {});
+}
+
+gbbs::graph<std::uint32_t> empty_weighted(vertex_id n) {
+  return gbbs::build_symmetric_graph<std::uint32_t>(n, {});
+}
+
+TEST(EdgeCases, AllAlgorithmsOnEdgelessGraph) {
+  auto g = empty_graph(16);
+  auto gw = empty_weighted(16);
+  auto gd = gbbs::build_asymmetric_graph<empty_weight>(16, {});
+
+  EXPECT_EQ(gbbs::bfs(g, 0)[1], gbbs::kInfDist);
+  EXPECT_EQ(gbbs::wbfs(gw, 0).dist[1],
+            std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(gbbs::bellman_ford(gw, 0)[1], gbbs::kInfDist64);
+  EXPECT_EQ(gbbs::delta_stepping(gw, 0).dist[0], 0u);
+  EXPECT_EQ(gbbs::betweenness(g, 0)[0], 0.0);
+
+  auto cc = gbbs::connectivity(g);
+  for (vertex_id v = 1; v < 16; ++v) EXPECT_NE(cc[v], cc[0]);
+  EXPECT_TRUE(gbbs::spanning_forest_ldd(g).empty());
+  auto bi = gbbs::biconnectivity(g);
+  EXPECT_EQ(bi.num_critical_edges, 0u);
+  auto s = gbbs::scc(gd);
+  EXPECT_EQ(s.labels.size(), 16u);
+
+  EXPECT_TRUE(gbbs::msf(gw).forest.empty());
+  auto mis = gbbs::mis_rootset(g);
+  for (auto f : mis) EXPECT_EQ(f, 1);
+  EXPECT_TRUE(gbbs::maximal_matching(g).empty());
+  EXPECT_EQ(gbbs::num_colors(gbbs::color_graph(g)), 1u);
+  auto kc = gbbs::kcore(g);
+  EXPECT_EQ(kc.max_core, 0u);
+  EXPECT_EQ(gbbs::triangle_count(g), 0u);
+}
+
+TEST(EdgeCases, SingleVertexGraph) {
+  auto g = empty_graph(1);
+  auto gw = empty_weighted(1);
+  EXPECT_EQ(gbbs::bfs(g, 0)[0], 0u);
+  EXPECT_EQ(gbbs::wbfs(gw, 0).dist[0], 0u);
+  EXPECT_EQ(gbbs::connectivity(g).size(), 1u);
+  EXPECT_EQ(gbbs::mis_rootset(g)[0], 1);
+  EXPECT_EQ(gbbs::kcore(g).max_core, 0u);
+  EXPECT_EQ(gbbs::color_graph(g)[0], 0u);
+}
+
+TEST(EdgeCases, SelfLoopsAndDuplicatesAreScrubbed) {
+  std::vector<gbbs::edge<empty_weight>> edges = {
+      {0, 0, {}}, {1, 1, {}}, {0, 1, {}}, {0, 1, {}}, {1, 0, {}},
+      {2, 2, {}}, {2, 2, {}}};
+  auto g = gbbs::build_symmetric_graph<empty_weight>(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);  // just 0<->1
+  // All algorithms behave as on the clean two-vertex graph.
+  auto cc = gbbs::connectivity(g);
+  EXPECT_EQ(cc[0], cc[1]);
+  EXPECT_NE(cc[0], cc[2]);
+  EXPECT_EQ(gbbs::triangle_count(g), 0u);
+  auto mm = gbbs::maximal_matching(g);
+  EXPECT_EQ(mm.size(), 1u);
+  EXPECT_EQ(gbbs::kcore(g).max_core, 1u);
+}
+
+TEST(EdgeCases, TwoVertexGraph) {
+  std::vector<gbbs::edge<std::uint32_t>> edges = {{0, 1, 7}};
+  auto g = gbbs::build_symmetric_graph<std::uint32_t>(2, edges);
+  EXPECT_EQ(gbbs::wbfs(g, 0).dist[1], 7u);
+  EXPECT_EQ(gbbs::bellman_ford(g, 0)[1], 7);
+  EXPECT_EQ(gbbs::delta_stepping(g, 0).dist[1], 7u);
+  EXPECT_EQ(gbbs::msf(g).total_weight, 7u);
+  auto bi = gbbs::biconnectivity(g);
+  EXPECT_EQ(bi.edge_label(0, 1), bi.edge_label(1, 0));
+  auto colors = gbbs::color_graph(g);
+  EXPECT_NE(colors[0], colors[1]);
+}
+
+TEST(EdgeCases, SourceOutOfComponentStillTerminates) {
+  // Source in the small component; most of the graph unreachable.
+  std::vector<gbbs::edge<empty_weight>> edges = {{0, 1, {}}};
+  for (vertex_id v = 2; v + 1 < 100; ++v) edges.push_back({v, v + 1, {}});
+  auto g = gbbs::build_symmetric_graph<empty_weight>(100, edges);
+  auto dist = gbbs::bfs(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[50], gbbs::kInfDist);
+  auto dep = gbbs::betweenness(g, 0);
+  EXPECT_EQ(dep[50], 0.0);
+}
+
+TEST(EdgeCases, DirectedGraphWithSinkAndSourceOnly) {
+  // Pure DAG edges into a sink: SCC must be all singletons and trimming
+  // should handle everything without a multi-search phase.
+  std::vector<gbbs::edge<empty_weight>> edges = {
+      {0, 3, {}}, {1, 3, {}}, {2, 3, {}}};
+  auto g = gbbs::build_asymmetric_graph<empty_weight>(4, edges);
+  auto res = gbbs::scc(g);
+  std::set<vertex_id> labels(res.labels.begin(), res.labels.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(EdgeCases, HugeDegreeSingleHub) {
+  // One vertex adjacent to everything: stresses multi-block compressed
+  // decode, blocked edgeMap block splitting, and the histogram heavy path.
+  const vertex_id n = 5000;
+  auto g = gbbs::build_symmetric_graph<empty_weight>(n, gbbs::star_edges(n));
+  auto dist = gbbs::bfs(g, 1);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[4999], 2u);
+  auto kc = gbbs::kcore(g);
+  EXPECT_EQ(kc.max_core, 1u);
+  auto mis = gbbs::mis_rootset(g);
+  std::size_t size = 0;
+  for (auto f : mis) size += f;
+  EXPECT_TRUE(size == 1 || size == n - 1);
+}
+
+TEST(EdgeCases, LddBetaExtremes) {
+  auto g = gbbs::build_symmetric_graph<empty_weight>(
+      256, gbbs::cycle_edges(256));
+  // Tiny beta: giant clusters; huge beta: mostly singletons. Both valid.
+  for (double beta : {0.001, 0.99}) {
+    auto clusters = gbbs::ldd(g, beta);
+    for (vertex_id v = 0; v < 256; ++v) {
+      ASSERT_NE(clusters[v], gbbs::kNoVertex);
+      ASSERT_EQ(clusters[clusters[v]], clusters[v]);
+    }
+  }
+}
+
+TEST(EdgeCases, WbfsUnblockedVariantAgrees) {
+  std::vector<gbbs::edge<std::uint32_t>> edges;
+  for (vertex_id i = 0; i + 1 < 200; ++i) {
+    edges.push_back({i, i + 1, (i % 5) + 1});
+    if (i + 7 < 200) edges.push_back({i, i + 7, 3});
+  }
+  auto g = gbbs::build_symmetric_graph<std::uint32_t>(200, edges);
+  auto blocked = gbbs::wbfs(g, 0, /*use_blocked=*/true);
+  auto plain = gbbs::wbfs(g, 0, /*use_blocked=*/false);
+  EXPECT_EQ(blocked.dist, plain.dist);
+}
+
+}  // namespace

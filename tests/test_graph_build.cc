@@ -1,0 +1,200 @@
+// Tests for CSR construction: sorting, dedup, self-loop removal,
+// symmetrization, in-CSR transposition, pack_out, filter_graph.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "parlib/atomics.h"
+#include "parlib/random.h"
+
+namespace {
+
+using gbbs::edge;
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+
+TEST(GraphBuild, TinyDirected) {
+  std::vector<edge<empty_weight>> edges = {
+      {0, 1, {}}, {0, 2, {}}, {1, 2, {}}, {2, 0, {}}};
+  auto g = gbbs::build_asymmetric_graph<empty_weight>(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_FALSE(g.symmetric());
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.out_degree(1), 1u);
+  EXPECT_EQ(g.out_degree(2), 1u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+  auto n0 = g.out_neighbors(0);
+  EXPECT_EQ(std::vector<vertex_id>(n0.begin(), n0.end()),
+            (std::vector<vertex_id>{1, 2}));
+}
+
+TEST(GraphBuild, RemovesSelfLoopsAndDuplicates) {
+  std::vector<edge<empty_weight>> edges = {
+      {0, 1, {}}, {0, 1, {}}, {1, 1, {}}, {1, 0, {}}, {2, 2, {}}};
+  auto g = gbbs::build_asymmetric_graph<empty_weight>(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);  // (0,1) and (1,0)
+  EXPECT_EQ(g.out_degree(2), 0u);
+}
+
+TEST(GraphBuild, SymmetrizeAddsReverseEdges) {
+  std::vector<edge<empty_weight>> edges = {{0, 1, {}}, {1, 2, {}}};
+  auto g = gbbs::build_symmetric_graph<empty_weight>(3, edges);
+  EXPECT_TRUE(g.symmetric());
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.out_degree(1), 2u);
+  EXPECT_EQ(g.in_degree(1), 2u);  // aliases out
+}
+
+TEST(GraphBuild, AdjacencyIsSorted) {
+  auto g = gbbs::rmat_symmetric(10, 8000, 42);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    auto nghs = g.out_neighbors(v);
+    for (std::size_t j = 1; j < nghs.size(); ++j) {
+      ASSERT_LT(nghs[j - 1], nghs[j]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(GraphBuild, SymmetricGraphHasMatchingReverseEdges) {
+  auto g = gbbs::rmat_symmetric(9, 4000, 7);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.out_neighbors(v)) {
+      auto nghs = g.out_neighbors(u);
+      ASSERT_TRUE(std::binary_search(nghs.begin(), nghs.end(), v))
+          << "missing reverse of (" << v << "," << u << ")";
+    }
+  }
+}
+
+TEST(GraphBuild, InCsrIsTransposeOfOutCsr) {
+  auto g = gbbs::rmat_directed(9, 4000, 11);
+  std::set<std::pair<vertex_id, vertex_id>> out_edges, in_edges;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    for (vertex_id u : g.out_neighbors(v)) out_edges.insert({v, u});
+    for (vertex_id u : g.in_neighbors(v)) in_edges.insert({u, v});
+  }
+  EXPECT_EQ(out_edges, in_edges);
+}
+
+TEST(GraphBuild, WeightsFollowEdgesThroughBuild) {
+  std::vector<edge<std::uint32_t>> edges = {
+      {0, 1, 10}, {1, 2, 20}, {0, 2, 30}};
+  auto g = gbbs::build_symmetric_graph<std::uint32_t>(3, edges);
+  // Edge (1,0) must carry weight 10, (2,0) weight 30, (2,1) weight 20.
+  bool found = false;
+  g.decode_out_break(2, [&](vertex_id, vertex_id ngh, std::uint32_t w) {
+    if (ngh == 0) {
+      EXPECT_EQ(w, 30u);
+      found = true;
+    }
+    if (ngh == 1) EXPECT_EQ(w, 20u);
+    return true;
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(GraphBuild, EdgesRoundTrip) {
+  auto g = gbbs::rmat_directed(8, 2000, 3);
+  auto edges = g.edges();
+  ASSERT_EQ(edges.size(), g.num_edges());
+  auto g2 = gbbs::build_asymmetric_graph<empty_weight>(g.num_vertices(),
+                                                       std::move(edges));
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    auto a = g.out_neighbors(v);
+    auto b = g2.out_neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(GraphBuild, PackOutShrinksLiveDegree) {
+  auto g = gbbs::rmat_symmetric(8, 2000, 5);
+  const vertex_id v = 1;
+  const auto before = g.out_degree(v);
+  g.pack_out(v, [](vertex_id, vertex_id ngh, empty_weight) {
+    return ngh % 2 == 0;
+  });
+  const auto after = g.out_degree(v);
+  EXPECT_LE(after, before);
+  for (vertex_id u : g.out_neighbors(v)) ASSERT_EQ(u % 2, 0u);
+  // Still sorted.
+  auto nghs = g.out_neighbors(v);
+  EXPECT_TRUE(std::is_sorted(nghs.begin(), nghs.end()));
+}
+
+TEST(GraphBuild, FilterGraphKeepsExactlyPredicateEdges) {
+  auto g = gbbs::rmat_symmetric(9, 4000, 13);
+  auto filtered = gbbs::filter_graph(
+      g, [](vertex_id u, vertex_id v, empty_weight) { return u < v; });
+  EXPECT_EQ(filtered.num_edges(), g.num_edges() / 2);
+  std::uint64_t checked = 0;
+  for (vertex_id v = 0; v < filtered.num_vertices(); ++v) {
+    for (vertex_id u : filtered.out_neighbors(v)) {
+      ASSERT_LT(v, u);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, filtered.num_edges());
+}
+
+TEST(GraphBuild, MapAndReduceOutAgree) {
+  auto g = gbbs::rmat_symmetric(8, 3000, 17);
+  for (vertex_id v = 0; v < g.num_vertices(); v += 37) {
+    std::uint64_t sum_map = 0;
+    g.map_out(v, [&](vertex_id, vertex_id ngh, empty_weight) {
+      parlib::fetch_and_add<std::uint64_t>(&sum_map, ngh);
+    });
+    const auto sum_red = g.reduce_out(
+        v,
+        [](vertex_id, vertex_id ngh, empty_weight) {
+          return static_cast<std::uint64_t>(ngh);
+        },
+        parlib::plus_monoid<std::uint64_t>());
+    ASSERT_EQ(sum_map, sum_red) << v;
+  }
+}
+
+TEST(GraphBuild, IntersectOutCountsCommonNeighbors) {
+  // Triangle 0-1-2 plus pendant 3 attached to 0.
+  std::vector<edge<empty_weight>> edges = {
+      {0, 1, {}}, {1, 2, {}}, {0, 2, {}}, {0, 3, {}}};
+  auto g = gbbs::build_symmetric_graph<empty_weight>(4, edges);
+  EXPECT_EQ(g.intersect_out(0, 1), 1u);  // common neighbor: 2
+  EXPECT_EQ(g.intersect_out(1, 2), 1u);  // common neighbor: 0
+  EXPECT_EQ(g.intersect_out(0, 3), 0u);
+}
+
+TEST(GraphBuild, MapOutRangeSubsetsAdjacency) {
+  auto g = gbbs::rmat_symmetric(8, 3000, 19);
+  vertex_id v = 0;
+  for (vertex_id u = 0; u < g.num_vertices(); ++u) {
+    if (g.out_degree(u) >= 5) {
+      v = u;
+      break;
+    }
+  }
+  std::vector<vertex_id> got;
+  g.map_out_range(v, 1, 4, [&](vertex_id, vertex_id ngh, empty_weight) {
+    got.push_back(ngh);
+  });
+  auto nghs = g.out_neighbors(v);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], nghs[1]);
+  EXPECT_EQ(got[2], nghs[3]);
+}
+
+TEST(GraphBuild, EmptyGraph) {
+  auto g = gbbs::build_symmetric_graph<empty_weight>(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (vertex_id v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Round-trip tests for the AdjacencyGraph text format and binary format.
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+template <typename G>
+void expect_same_graph(const G& a, const G& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (vertex_id v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.out_neighbors(v);
+    auto nb = b.out_neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << v;
+    for (std::size_t j = 0; j < na.size(); ++j) {
+      ASSERT_EQ(na[j], nb[j]) << v << " " << j;
+      ASSERT_EQ(a.out_weight(v, j), b.out_weight(v, j)) << v << " " << j;
+    }
+  }
+}
+
+TEST(GraphIo, AdjacencyTextRoundTripSymmetric) {
+  auto g = gbbs::rmat_symmetric(8, 2000, 1);
+  const auto path = temp_path("adj_sym.txt");
+  gbbs::write_adjacency_graph(path, g);
+  auto g2 = gbbs::read_adjacency_graph(path, /*symmetric=*/true);
+  expect_same_graph(g, g2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, AdjacencyTextRoundTripDirected) {
+  auto g = gbbs::rmat_directed(8, 2000, 2);
+  const auto path = temp_path("adj_dir.txt");
+  gbbs::write_adjacency_graph(path, g);
+  auto g2 = gbbs::read_adjacency_graph(path, /*symmetric=*/false);
+  expect_same_graph(g, g2);
+  // In-degrees must survive the round trip too.
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(g.in_degree(v), g2.in_degree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, WeightedAdjacencyTextRoundTrip) {
+  auto g = gbbs::rmat_symmetric_weighted(8, 2000, 3);
+  const auto path = temp_path("adj_w.txt");
+  gbbs::write_adjacency_graph(path, g);
+  auto g2 = gbbs::read_weighted_adjacency_graph(path, /*symmetric=*/true);
+  expect_same_graph(g, g2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRoundTripSymmetric) {
+  auto g = gbbs::rmat_symmetric(9, 4000, 4);
+  const auto path = temp_path("bin_sym.graph");
+  gbbs::write_binary_graph(path, g);
+  auto g2 = gbbs::read_binary_graph(path, /*symmetric=*/true);
+  expect_same_graph(g, g2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRoundTripWeighted) {
+  auto g = gbbs::rmat_symmetric_weighted(9, 4000, 5);
+  const auto path = temp_path("bin_w.graph");
+  gbbs::write_binary_graph(path, g);
+  auto g2 = gbbs::read_weighted_binary_graph(path, /*symmetric=*/true);
+  expect_same_graph(g, g2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(gbbs::read_adjacency_graph("/nonexistent/nowhere.txt", true),
+               std::runtime_error);
+  EXPECT_THROW(gbbs::read_binary_graph("/nonexistent/nowhere.bin", true),
+               std::runtime_error);
+}
+
+TEST(GraphIo, WrongHeaderThrows) {
+  const auto path = temp_path("bad_header.txt");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("NotAGraph\n3\n0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(gbbs::read_adjacency_graph(path, true), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, WeightednessMismatchThrows) {
+  auto g = gbbs::rmat_symmetric(7, 500, 6);
+  const auto path = temp_path("bin_mismatch.graph");
+  gbbs::write_binary_graph(path, g);
+  EXPECT_THROW(gbbs::read_weighted_binary_graph(path, true),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Tests for the work-efficient histogram of Section 5, validated against a
+// sequential std::unordered_map reference on skewed and uniform keys.
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parlib/histogram.h"
+#include "parlib/random.h"
+
+namespace {
+
+using KV = std::pair<std::uint32_t, std::uint64_t>;
+
+std::unordered_map<std::uint32_t, std::uint64_t> reference(
+    const std::vector<KV>& elts) {
+  std::unordered_map<std::uint32_t, std::uint64_t> m;
+  for (const auto& [k, v] : elts) m[k] += v;
+  return m;
+}
+
+void expect_matches(const std::vector<KV>& got,
+                    const std::unordered_map<std::uint32_t, std::uint64_t>&
+                        expected) {
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, v] : got) {
+    auto it = expected.find(k);
+    ASSERT_NE(it, expected.end()) << "unexpected key " << k;
+    ASSERT_EQ(v, it->second) << "wrong sum for key " << k;
+  }
+}
+
+TEST(Histogram, Empty) {
+  std::vector<KV> elts;
+  auto got = parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(Histogram, SingleKey) {
+  std::vector<KV> elts(5000, {7, 2});
+  auto got = parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 7u);
+  EXPECT_EQ(got[0].second, 10000u);
+}
+
+TEST(Histogram, AllDistinctKeys) {
+  const std::size_t n = 30000;
+  std::vector<KV> elts(n);
+  for (std::size_t i = 0; i < n; ++i)
+    elts[i] = {static_cast<std::uint32_t>(i), i + 1};
+  auto got = parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0);
+  expect_matches(got, reference(elts));
+}
+
+struct SkewCase {
+  std::size_t n;
+  std::uint32_t key_range;
+  double zipf_like;  // 0 = uniform, >0 = skewed toward low keys
+};
+
+class HistogramSkew : public ::testing::TestWithParam<SkewCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, HistogramSkew,
+    ::testing::Values(SkewCase{1000, 10, 0.0}, SkewCase{100000, 50, 0.0},
+                      SkewCase{100000, 100000, 0.0},
+                      SkewCase{100000, 1000, 2.0},
+                      SkewCase{200000, 100, 3.0},
+                      SkewCase{50000, 7, 1.0}));
+
+TEST_P(HistogramSkew, MatchesReference) {
+  const auto& p = GetParam();
+  std::vector<KV> elts(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const std::uint64_t h = parlib::hash64(i);
+    std::uint32_t key;
+    if (p.zipf_like == 0.0) {
+      key = static_cast<std::uint32_t>(h % p.key_range);
+    } else {
+      // Skew toward key 0 by raising a uniform to a power.
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      key = static_cast<std::uint32_t>(
+          p.key_range * std::pow(u, p.zipf_like + 1));
+      key = std::min(key, p.key_range - 1);
+    }
+    elts[i] = {key, h % 5};
+  }
+  auto got = parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0);
+  expect_matches(got, reference(elts));
+}
+
+TEST(Histogram, CountHelper) {
+  const std::size_t n = 120000;
+  std::vector<std::uint32_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i)
+    keys[i] = static_cast<std::uint32_t>(parlib::hash64(i) % 97);
+  auto got = parlib::histogram_count(keys);
+  std::unordered_map<std::uint32_t, std::size_t> expected;
+  for (auto k : keys) expected[k]++;
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, c] : got) ASSERT_EQ(c, expected[k]);
+}
+
+TEST(Histogram, MaxCombine) {
+  const std::size_t n = 50000;
+  std::vector<KV> elts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    elts[i] = {static_cast<std::uint32_t>(i % 31), parlib::hash64(i) % 1000};
+  }
+  auto got = parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return std::max(a, b); }, 0);
+  std::unordered_map<std::uint32_t, std::uint64_t> expected;
+  for (const auto& [k, v] : elts)
+    expected[k] = std::max(expected[k], v);
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [k, v] : got) ASSERT_EQ(v, expected[k]);
+}
+
+TEST(HistogramFilter, DropsFilteredKeys) {
+  // Keep only keys whose count exceeds a threshold — the k-core use case.
+  const std::size_t n = 80000;
+  std::vector<KV> elts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    elts[i] = {static_cast<std::uint32_t>(parlib::hash64(i) % 1000), 1};
+  }
+  auto expected_map = reference(elts);
+  auto got = parlib::histogram_filter<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0,
+      [](std::uint32_t k, std::uint64_t c)
+          -> std::optional<std::pair<std::uint32_t, std::uint64_t>> {
+        if (c >= 90) return std::make_pair(k, c);
+        return std::nullopt;
+      });
+  std::size_t expected_count = 0;
+  for (const auto& [k, c] : expected_map)
+    if (c >= 90) ++expected_count;
+  ASSERT_EQ(got.size(), expected_count);
+  for (const auto& [k, c] : got) {
+    ASSERT_GE(c, 90u);
+    ASSERT_EQ(c, expected_map[k]);
+  }
+}
+
+TEST_P(HistogramSkew, SemisortVariantMatchesBlockedVariant) {
+  const auto& p = GetParam();
+  std::vector<KV> elts(p.n);
+  for (std::size_t i = 0; i < p.n; ++i) {
+    const std::uint64_t h = parlib::hash64(i * 13);
+    std::uint32_t key = static_cast<std::uint32_t>(h % p.key_range);
+    elts[i] = {key, h % 7};
+  }
+  auto expected = reference(elts);
+  auto got = parlib::histogram_by_key_semisort<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0);
+  expect_matches(got, expected);
+  // Sorted output keys (a property the blocked variant does not guarantee).
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    ASSERT_LT(got[i - 1].first, got[i].first);
+  }
+}
+
+TEST(Histogram, HeavyAndLightMixExactness) {
+  // One very heavy key (half the input) among many light ones — exercises
+  // the heavy/light split specifically.
+  const std::size_t n = 200000;
+  std::vector<KV> elts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      elts[i] = {12345, 1};
+    } else {
+      elts[i] = {static_cast<std::uint32_t>(parlib::hash64(i) % 50000), 1};
+    }
+  }
+  auto got = parlib::histogram_by_key<std::uint32_t, std::uint64_t>(
+      elts, [](auto a, auto b) { return a + b; }, 0);
+  expect_matches(got, reference(elts));
+}
+
+}  // namespace

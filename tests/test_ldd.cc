@@ -1,0 +1,126 @@
+// Low-diameter decomposition invariants: total coverage, center membership,
+// cluster connectivity, the beta*m cut-edge bound (statistically), and the
+// O(log n / beta) cluster radius bound.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.h"
+#include "algorithms/ldd.h"
+#include "seq/reference.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+class LddSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, LddSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(LddSuite, EveryVertexClusteredAndCentersSelfOwn) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  auto clusters = gbbs::ldd(g, 0.2);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_NE(clusters[v], gbbs::kNoVertex) << v;
+    // The center of v's cluster belongs to its own cluster.
+    ASSERT_EQ(clusters[clusters[v]], clusters[v]) << v;
+  }
+}
+
+TEST_P(LddSuite, ClustersAreConnected) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  if (g.num_vertices() == 0) return;
+  auto clusters = gbbs::ldd(g, 0.2);
+  // BFS from each center restricted to its cluster must reach all members.
+  std::unordered_map<vertex_id, std::vector<vertex_id>> members;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    members[clusters[v]].push_back(v);
+  }
+  for (const auto& [center, vs] : members) {
+    std::vector<std::uint8_t> seen(g.num_vertices(), 0);
+    std::vector<vertex_id> stack{center};
+    seen[center] = 1;
+    std::size_t reached = 1;
+    while (!stack.empty()) {
+      const vertex_id v = stack.back();
+      stack.pop_back();
+      for (vertex_id u : g.out_neighbors(v)) {
+        if (!seen[u] && clusters[u] == center) {
+          seen[u] = 1;
+          ++reached;
+          stack.push_back(u);
+        }
+      }
+    }
+    ASSERT_EQ(reached, vs.size()) << "cluster of center " << center;
+  }
+}
+
+TEST(Ldd, CutEdgeFractionNearBeta) {
+  // Expected cut edges <= ~2*beta*m for the tie-broken variant; allow 3x
+  // slack for variance on a single draw.
+  auto g = gbbs::testing::make_symmetric("rmat");
+  for (double beta : {0.1, 0.2, 0.4}) {
+    auto clusters = gbbs::ldd(g, beta, parlib::random(99));
+    const auto cut = gbbs::num_cut_edges(g, clusters);
+    EXPECT_LT(static_cast<double>(cut), 3.0 * beta * g.num_edges())
+        << "beta=" << beta;
+  }
+}
+
+TEST(Ldd, LargerBetaMakesMoreClusters) {
+  auto g = gbbs::testing::make_symmetric("torus");
+  auto count_clusters = [&](double beta) {
+    auto clusters = gbbs::ldd(g, beta, parlib::random(3));
+    std::vector<std::uint8_t> used(g.num_vertices(), 0);
+    for (auto c : clusters) used[c] = 1;
+    std::size_t k = 0;
+    for (auto u : used) k += u;
+    return k;
+  };
+  EXPECT_LT(count_clusters(0.05), count_clusters(0.8));
+}
+
+TEST(Ldd, ClusterRadiusBounded) {
+  // Each vertex's hop distance to its center is O(log n / beta); check an
+  // explicit generous constant.
+  auto g = gbbs::testing::make_symmetric("torus");
+  const double beta = 0.2;
+  auto clusters = gbbs::ldd(g, beta, parlib::random(17));
+  std::unordered_map<vertex_id, std::vector<vertex_id>> members;
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    members[clusters[v]].push_back(v);
+  }
+  const double bound = 4.0 * std::log(static_cast<double>(g.num_vertices())) /
+                       beta;
+  for (const auto& [center, vs] : members) {
+    auto dist = gbbs::seq::bfs(g, center);
+    for (vertex_id v : vs) {
+      // Distance within the graph lower-bounds within-cluster distance but
+      // the MPX guarantee is about graph distance to the center.
+      ASSERT_LT(dist[v], bound) << "center " << center << " v " << v;
+    }
+  }
+}
+
+TEST(Ldd, ClustersRespectComponents) {
+  auto g = gbbs::testing::two_components(200);
+  auto clusters = gbbs::ldd(g, 0.2);
+  auto cc = gbbs::seq::connectivity(g);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(cc[clusters[v]], cc[v]) << v;
+  }
+}
+
+TEST(Ldd, DeterministicForFixedSeed) {
+  auto g = gbbs::testing::make_symmetric("erdos_renyi");
+  auto a = gbbs::ldd(g, 0.2, parlib::random(123));
+  auto b = gbbs::ldd(g, 0.2, parlib::random(123));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace

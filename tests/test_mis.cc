@@ -1,0 +1,98 @@
+// MIS (rootset + prefix variants): independence and maximality over the
+// suite, determinism, seed variation.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/mis.h"
+#include "graph/compression/compressed_graph.h"
+#include "seq/reference.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+class MisSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, MisSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(MisSuite, RootsetIsValidMis) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  auto in_set = gbbs::mis_rootset(g);
+  EXPECT_TRUE(gbbs::seq::is_valid_mis(g, in_set)) << GetParam();
+}
+
+TEST_P(MisSuite, PrefixIsValidMis) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  auto in_set = gbbs::mis_prefix(g);
+  EXPECT_TRUE(gbbs::seq::is_valid_mis(g, in_set)) << GetParam();
+}
+
+TEST_P(MisSuite, DifferentSeedsStillValid) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  for (std::uint64_t seed : {1ull, 99ull, 12345ull}) {
+    auto in_set = gbbs::mis_rootset(g, parlib::random(seed));
+    ASSERT_TRUE(gbbs::seq::is_valid_mis(g, in_set)) << seed;
+  }
+}
+
+TEST(Mis, RootsetMatchesSequentialGreedyOnSamePermutation) {
+  // Both the rootset algorithm and the lexicographically-first greedy over
+  // the same permutation must produce the *same* set [19].
+  auto g = gbbs::testing::make_symmetric("erdos_renyi");
+  const auto rng = parlib::random(7);
+  auto in_set = gbbs::mis_rootset(g, rng);
+  // Sequential greedy in permutation order.
+  const auto perm = parlib::random_permutation(g.num_vertices(), rng);
+  std::vector<std::uint8_t> greedy(g.num_vertices(), 0);
+  std::vector<std::uint8_t> blocked(g.num_vertices(), 0);
+  for (vertex_id i = 0; i < g.num_vertices(); ++i) {
+    const vertex_id v = perm[i];
+    if (!blocked[v]) {
+      greedy[v] = 1;
+      for (vertex_id u : g.out_neighbors(v)) blocked[u] = 1;
+    }
+  }
+  EXPECT_EQ(in_set, greedy);
+}
+
+TEST(Mis, EmptyGraphAllInMis) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(20, {});
+  auto in_set = gbbs::mis_rootset(g);
+  for (auto f : in_set) ASSERT_EQ(f, 1);
+}
+
+TEST(Mis, CompleteGraphHasExactlyOne) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      40, gbbs::complete_edges(40));
+  auto in_set = gbbs::mis_rootset(g);
+  int count = 0;
+  for (auto f : in_set) count += f;
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Mis, StarPicksLeavesOrCenter) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      100, gbbs::star_edges(100));
+  auto in_set = gbbs::mis_rootset(g);
+  ASSERT_TRUE(gbbs::seq::is_valid_mis(g, in_set));
+  if (in_set[0]) {
+    for (vertex_id v = 1; v < 100; ++v) ASSERT_EQ(in_set[v], 0);
+  } else {
+    for (vertex_id v = 1; v < 100; ++v) ASSERT_EQ(in_set[v], 1);
+  }
+}
+
+TEST(Mis, WorksOnCompressedGraph) {
+  auto g = gbbs::testing::make_symmetric("rmat");
+  auto cg = gbbs::compressed_graph<gbbs::empty_weight>::compress(g);
+  auto a = gbbs::mis_rootset(g, parlib::random(3));
+  auto b = gbbs::mis_rootset(cg, parlib::random(3));
+  EXPECT_EQ(a, b);  // same permutation, same (deterministic) DAG
+  EXPECT_TRUE(gbbs::seq::is_valid_mis(g, b));
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+// Tests for the splittable RNG, random permutations, exponential samples.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parlib/random.h"
+
+namespace {
+
+TEST(Random, Deterministic) {
+  parlib::random a(42), b(42);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.ith_rand(i), b.ith_rand(i));
+}
+
+TEST(Random, DifferentSeedsDiffer) {
+  parlib::random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.ith_rand(i) == b.ith_rand(i));
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, ForkGivesIndependentStreams) {
+  parlib::random r(7);
+  auto c0 = r.fork(0), c1 = r.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (c0.ith_rand(i) == c1.ith_rand(i));
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, UniformInUnitInterval) {
+  parlib::random r(3);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.ith_uniform(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Random, ExponentialHasRightMean) {
+  parlib::random r(11);
+  const double beta = 0.2;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.ith_exponential(i, beta);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 1.0 / beta, 0.05 / beta);
+}
+
+TEST(Random, Hash64AvalanchesLowBits) {
+  // Consecutive inputs should produce well-spread low bits.
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t i = 0; i < 16000; ++i) {
+    buckets[parlib::hash64(i) & 15]++;
+  }
+  for (int c : buckets) {
+    EXPECT_GT(c, 800);
+    EXPECT_LT(c, 1200);
+  }
+}
+
+class PermutationSizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSizes,
+                         ::testing::Values(0, 1, 2, 17, 1000, 65536, 200000));
+
+TEST_P(PermutationSizes, RandomPermutationIsAPermutation) {
+  const std::size_t n = GetParam();
+  auto perm = parlib::random_permutation(n, parlib::random(5));
+  ASSERT_EQ(perm.size(), n);
+  std::vector<std::uint8_t> seen(n, 0);
+  for (auto p : perm) {
+    ASSERT_LT(p, n);
+    ASSERT_EQ(seen[p], 0);
+    seen[p] = 1;
+  }
+}
+
+TEST(Random, PermutationActuallyShuffles) {
+  const std::size_t n = 10000;
+  auto perm = parlib::random_permutation(n, parlib::random(9));
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < n; ++i) fixed += (perm[i] == i);
+  // Expected number of fixed points of a uniform permutation is 1.
+  EXPECT_LT(fixed, 20u);
+}
+
+TEST(Random, PermutationSeedsDiffer) {
+  auto p1 = parlib::random_permutation(1000, parlib::random(1));
+  auto p2 = parlib::random_permutation(1000, parlib::random(2));
+  EXPECT_NE(p1, p2);
+}
+
+}  // namespace

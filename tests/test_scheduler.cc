@@ -1,0 +1,111 @@
+// Tests for the work-stealing fork-join scheduler.
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parlib/parallel.h"
+#include "parlib/scheduler.h"
+
+namespace {
+
+TEST(Scheduler, ReportsAtLeastOneWorker) {
+  EXPECT_GE(parlib::num_workers(), 1u);
+  EXPECT_GE(parlib::num_active_workers(), 1u);
+  EXPECT_LE(parlib::num_active_workers(), parlib::num_workers());
+}
+
+TEST(Scheduler, ParDoRunsBothBranches) {
+  int a = 0, b = 0;
+  parlib::par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Scheduler, ParDoNestedCompletesAll) {
+  std::atomic<int> count{0};
+  parlib::par_do(
+      [&] {
+        parlib::par_do([&] { count++; }, [&] { count++; });
+      },
+      [&] {
+        parlib::par_do([&] { count++; }, [&] { count++; });
+      });
+  EXPECT_EQ(count.load(), 4);
+}
+
+// Fibonacci via fork-join: a classic stress test of nested par_do with many
+// joins, some of which are stolen.
+std::uint64_t fib(int n) {
+  if (n < 2) return n;
+  std::uint64_t a = 0, b = 0;
+  parlib::par_do_if(n > 12, [&] { a = fib(n - 1); }, [&] { b = fib(n - 2); });
+  if (n <= 12) {
+    a = fib(n - 1);
+    b = fib(n - 2);
+    return a + b;
+  }
+  return a + b;
+}
+
+TEST(Scheduler, ForkJoinFibonacci) { EXPECT_EQ(fib(28), 317811u); }
+
+TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  const std::size_t n = 100000;
+  std::vector<std::atomic<int>> hits(n);
+  parlib::parallel_for(0, n, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Scheduler, ParallelForEmptyAndSingleton) {
+  std::atomic<int> count{0};
+  parlib::parallel_for(5, 5, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  parlib::parallel_for(7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count++;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Scheduler, ParallelForExplicitGranularity) {
+  const std::size_t n = 4097;
+  std::vector<int> hits(n, 0);
+  parlib::parallel_for(0, n, [&](std::size_t i) { hits[i]++; }, 13);
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+}
+
+TEST(Scheduler, ActiveWorkersGuardRestores) {
+  const std::size_t before = parlib::num_active_workers();
+  {
+    parlib::active_workers_guard g(1);
+    EXPECT_EQ(parlib::num_active_workers(), 1u);
+    // Sequential mode still computes correctly.
+    std::vector<int> v(1000, 1);
+    int sum = 0;
+    parlib::parallel_for(0, v.size(), [&](std::size_t i) { sum += v[i]; });
+    EXPECT_EQ(sum, 1000);
+  }
+  EXPECT_EQ(parlib::num_active_workers(), before);
+}
+
+TEST(Scheduler, SkewedWorkIsBalanced) {
+  // A loop where one iteration is vastly more expensive must still finish.
+  const std::size_t n = 64;
+  std::vector<std::uint64_t> out(n);
+  parlib::parallel_for(
+      0, n,
+      [&](std::size_t i) {
+        std::uint64_t acc = 0;
+        const std::size_t reps = (i == 0) ? 2000000 : 100;
+        for (std::size_t r = 0; r < reps; ++r) acc += r * r + i;
+        out[i] = acc;
+      },
+      1);
+  EXPECT_GT(out[0], out[1]);
+}
+
+}  // namespace

@@ -1,0 +1,60 @@
+// Graph-statistics block (Tables 3, 8-13 machinery).
+#include <gtest/gtest.h>
+
+#include "algorithms/stats.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+TEST(Stats, TwoComponentCycles) {
+  auto g = gbbs::testing::two_components(100);
+  auto s = gbbs::compute_statistics(g);
+  EXPECT_EQ(s.num_vertices, 200u);
+  EXPECT_EQ(s.num_cc, 2u);
+  EXPECT_EQ(s.largest_cc, 100u);
+  EXPECT_EQ(s.num_triangles, 0u);
+  EXPECT_EQ(s.kmax, 2u);
+  // Each cycle is one biconnected component.
+  EXPECT_EQ(s.num_bicc, 2u);
+}
+
+TEST(Stats, EffectiveDiameterLowerBoundsPath) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      200, gbbs::path_edges(200));
+  const auto d = gbbs::effective_diameter(g, 4);
+  EXPECT_GE(d, 99u);   // any source sees at least half the path
+  EXPECT_LE(d, 199u);
+}
+
+TEST(Stats, RmatBlockIsConsistent) {
+  auto g = gbbs::testing::make_symmetric("rmat");
+  auto s = gbbs::compute_statistics(g);
+  EXPECT_EQ(s.num_vertices, g.num_vertices());
+  EXPECT_EQ(s.num_edges, g.num_edges());
+  EXPECT_GE(s.colors_lf, 2u);
+  EXPECT_GE(s.colors_llf, 2u);
+  EXPECT_GT(s.mis_size, 0u);
+  EXPECT_GT(s.matching_size, 0u);
+  EXPECT_GE(s.kmax, 1u);
+  EXPECT_GE(s.rho, 1u);
+  EXPECT_LE(s.largest_cc, s.num_vertices);
+}
+
+TEST(Stats, DirectedSccStats) {
+  auto g = gbbs::testing::make_directed("dicycle");
+  gbbs::graph_statistics s;
+  gbbs::add_directed_statistics(g, s);
+  EXPECT_EQ(s.num_scc, 1u);
+  EXPECT_EQ(s.largest_scc, 400u);
+}
+
+TEST(Stats, CountAndLargest) {
+  std::vector<vertex_id> labels = {5, 5, 7, 5, 9, 9};
+  auto [count, largest] = gbbs::count_and_largest(labels);
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(largest, 3u);
+}
+
+}  // namespace

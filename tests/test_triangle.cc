@@ -1,0 +1,67 @@
+// Triangle counting vs the brute-force oracle, with closed-form checks on
+// structured graphs and compressed-graph parity.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/triangle.h"
+#include "graph/compression/compressed_graph.h"
+#include "seq/reference.h"
+#include "test_graphs.h"
+
+namespace {
+
+using gbbs::vertex_id;
+
+class TriangleSuite : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, TriangleSuite,
+    ::testing::ValuesIn(gbbs::testing::symmetric_suite_names()));
+
+TEST_P(TriangleSuite, MatchesBruteForce) {
+  auto g = gbbs::testing::make_symmetric(GetParam());
+  EXPECT_EQ(gbbs::triangle_count(g), gbbs::seq::triangle_count(g))
+      << GetParam();
+}
+
+TEST(Triangle, CompleteGraphBinomial) {
+  // K_n has n-choose-3 triangles.
+  for (vertex_id n : {4u, 10u, 30u}) {
+    auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+        n, gbbs::complete_edges(n));
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(n) * (n - 1) * (n - 2) / 6;
+    EXPECT_EQ(gbbs::triangle_count(g), expected) << n;
+  }
+}
+
+TEST(Triangle, TriangleFreeGraphsReportZero) {
+  auto grid = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      100, gbbs::grid2d_edges(10, 10));
+  EXPECT_EQ(gbbs::triangle_count(grid), 0u);
+  auto star = gbbs::build_symmetric_graph<gbbs::empty_weight>(
+      100, gbbs::star_edges(100));
+  EXPECT_EQ(gbbs::triangle_count(star), 0u);
+  auto torus = gbbs::torus3d_symmetric(5);
+  EXPECT_EQ(gbbs::triangle_count(torus), 0u);
+}
+
+TEST(Triangle, SingleTriangle) {
+  std::vector<gbbs::edge<gbbs::empty_weight>> edges = {
+      {0, 1, {}}, {1, 2, {}}, {0, 2, {}}};
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(3, edges);
+  EXPECT_EQ(gbbs::triangle_count(g), 1u);
+}
+
+TEST(Triangle, CompressedMatchesUncompressed) {
+  auto g = gbbs::testing::make_symmetric("rmat");
+  auto cg = gbbs::compressed_graph<gbbs::empty_weight>::compress(g);
+  EXPECT_EQ(gbbs::triangle_count(g), gbbs::triangle_count(cg));
+}
+
+TEST(Triangle, EmptyGraph) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(10, {});
+  EXPECT_EQ(gbbs::triangle_count(g), 0u);
+}
+
+}  // namespace

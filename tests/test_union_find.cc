@@ -1,0 +1,90 @@
+// Tests for concurrent union-find, including parallel unite storms.
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parlib/parallel.h"
+#include "parlib/random.h"
+#include "parlib/union_find.h"
+
+namespace {
+
+TEST(UnionFind, InitiallyAllSingletons) {
+  parlib::union_find uf(10);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    for (std::uint32_t j = i + 1; j < 10; ++j) {
+      ASSERT_FALSE(uf.same_set(i, j));
+    }
+  }
+}
+
+TEST(UnionFind, UniteJoins) {
+  parlib::union_find uf(5);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_FALSE(uf.unite(1, 0));
+  EXPECT_TRUE(uf.same_set(0, 1));
+  EXPECT_FALSE(uf.same_set(0, 2));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_TRUE(uf.unite(0, 3));
+  EXPECT_TRUE(uf.same_set(1, 2));
+}
+
+TEST(UnionFind, ChainCollapsesToOne) {
+  const std::size_t n = 100000;
+  parlib::union_find uf(n);
+  parlib::parallel_for(0, n - 1, [&](std::size_t i) {
+    uf.unite(static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i + 1));
+  });
+  auto labels = uf.labels();
+  for (auto l : labels) ASSERT_EQ(l, labels[0]);
+}
+
+TEST(UnionFind, ParallelRandomUnionsMatchSequential) {
+  const std::size_t n = 20000, edges = 30000;
+  parlib::union_find uf(n);
+  parlib::parallel_for(0, edges, [&](std::size_t i) {
+    const auto u = static_cast<std::uint32_t>(parlib::hash64(2 * i) % n);
+    const auto v = static_cast<std::uint32_t>(parlib::hash64(2 * i + 1) % n);
+    uf.unite(u, v);
+  });
+  // Sequential reference.
+  std::vector<std::uint32_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<std::uint32_t(std::uint32_t)> find =
+      [&](std::uint32_t x) -> std::uint32_t {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t i = 0; i < edges; ++i) {
+    const auto u = static_cast<std::uint32_t>(parlib::hash64(2 * i) % n);
+    const auto v = static_cast<std::uint32_t>(parlib::hash64(2 * i + 1) % n);
+    parent[find(u)] = find(v);
+  }
+  auto labels = uf.labels();
+  // Same partition: labels agree iff reference roots agree.
+  for (std::size_t i = 0; i < n; i += 7) {
+    for (std::size_t j = i + 1; j < n; j += 131) {
+      ASSERT_EQ(labels[i] == labels[j],
+                find(static_cast<std::uint32_t>(i)) ==
+                    find(static_cast<std::uint32_t>(j)))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(UnionFind, LabelsAreCanonicalRoots) {
+  parlib::union_find uf(100);
+  for (std::uint32_t i = 0; i < 50; ++i) uf.unite(i, i + 50);
+  auto labels = uf.labels();
+  std::set<std::uint32_t> roots(labels.begin(), labels.end());
+  EXPECT_EQ(roots.size(), 50u);
+  for (auto r : roots) EXPECT_EQ(labels[r], r);  // root labels itself
+}
+
+}  // namespace

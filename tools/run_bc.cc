@@ -1,0 +1,17 @@
+// Betweenness centrality runner: ./run_bc -g rmat:16 -src 3
+#include "algorithms/betweenness.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("BC", o, [&] {
+    auto dep = gbbs::betweenness(g, o.src);
+    double total = 0;
+    for (auto d : dep) total += d;
+    return "total dependency " + std::to_string(total);
+  });
+  return 0;
+}

@@ -1,0 +1,19 @@
+// Bellman-Ford runner: ./run_bellman_ford -g torus:32 -src 0
+#include "algorithms/bellman_ford.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric_weighted(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("BellmanFord", o, [&] {
+    auto dist = gbbs::bellman_ford(g, o.src);
+    std::size_t reached = 0;
+    for (auto d : dist) {
+      if (d != gbbs::kInfDist64) ++reached;
+    }
+    return "reached " + std::to_string(reached) + " vertices";
+  });
+  return 0;
+}

@@ -1,0 +1,29 @@
+// BFS runner: ./run_bfs -g rmat:16 -src 3 [-verify]
+#include "algorithms/bfs.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("BFS", o, [&] {
+    auto dist = gbbs::bfs(g, o.src);
+    std::size_t reached = 0;
+    std::uint32_t max_d = 0;
+    for (auto d : dist) {
+      if (d != gbbs::kInfDist) {
+        ++reached;
+        max_d = std::max(max_d, d);
+      }
+    }
+    return "reached " + std::to_string(reached) + " vertices, max depth " +
+           std::to_string(max_d);
+  });
+  if (o.verify) {
+    tools::report_verification(
+        "BFS", gbbs::bfs(g, o.src) == gbbs::seq::bfs(g, o.src));
+  }
+  return 0;
+}

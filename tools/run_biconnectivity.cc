@@ -1,0 +1,24 @@
+// Biconnectivity runner: ./run_biconnectivity -g rmat:14
+#include <unordered_set>
+
+#include "algorithms/biconnectivity.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("Biconnectivity", o, [&] {
+    auto res = gbbs::biconnectivity(g);
+    std::unordered_set<gbbs::vertex_id> comps;
+    for (gbbs::vertex_id v = 0; v < g.num_vertices(); ++v) {
+      for (gbbs::vertex_id u : g.out_neighbors(v)) {
+        if (v < u) comps.insert(res.edge_label(v, u));
+      }
+    }
+    return std::to_string(comps.size()) + " biconnected components, " +
+           std::to_string(res.num_critical_edges) + " critical tree edges";
+  });
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Graph coloring runner: ./run_coloring -g rmat:16
+#include "algorithms/coloring.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("Coloring", o, [&] {
+    auto colors = gbbs::color_graph(g, gbbs::coloring_heuristic::llf,
+                                    parlib::random(o.seed));
+    return std::to_string(gbbs::num_colors(colors)) + " colors (LLF)";
+  });
+  if (o.verify) {
+    gbbs::vertex_id delta = 0;
+    for (gbbs::vertex_id v = 0; v < g.num_vertices(); ++v) {
+      delta = std::max(delta, g.out_degree(v));
+    }
+    tools::report_verification(
+        "Coloring",
+        gbbs::seq::is_valid_coloring(
+            g,
+            gbbs::color_graph(g, gbbs::coloring_heuristic::llf,
+                              parlib::random(o.seed)),
+            delta + 1));
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Connectivity runner: ./run_connectivity -g rmat:16
+#include <unordered_map>
+#include <unordered_set>
+
+#include "algorithms/connectivity.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("Connectivity", o, [&] {
+    auto labels = gbbs::connectivity(g, 0.2, parlib::random(o.seed));
+    std::unordered_set<gbbs::vertex_id> comps(labels.begin(), labels.end());
+    return std::to_string(comps.size()) + " components";
+  });
+  if (o.verify) {
+    auto a = gbbs::connectivity(g, 0.2, parlib::random(o.seed));
+    auto b = gbbs::seq::connectivity(g);
+    bool ok = a.size() == b.size();
+    std::unordered_map<gbbs::vertex_id, gbbs::vertex_id> a2b, b2a;
+    for (std::size_t v = 0; ok && v < a.size(); ++v) {
+      auto [ia, u1] = a2b.try_emplace(a[v], b[v]);
+      auto [ib, u2] = b2a.try_emplace(b[v], a[v]);
+      ok = ia->second == b[v] && ib->second == a[v];
+    }
+    tools::report_verification("Connectivity", ok);
+  }
+  return 0;
+}

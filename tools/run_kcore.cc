@@ -1,0 +1,21 @@
+// k-core runner: ./run_kcore -g rmat:16 [-verify]
+#include "algorithms/kcore.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("k-core", o, [&] {
+    auto res = gbbs::kcore(g);
+    return "kmax (degeneracy) " + std::to_string(res.max_core) + ", rho " +
+           std::to_string(res.num_rounds);
+  });
+  if (o.verify) {
+    tools::report_verification(
+        "k-core", gbbs::kcore(g).coreness == gbbs::seq::coreness(g));
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Low-diameter decomposition runner: ./run_ldd -g torus:32
+#include <unordered_set>
+
+#include "algorithms/ldd.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("LDD", o, [&] {
+    auto clusters = gbbs::ldd(g, 0.2, parlib::random(o.seed));
+    std::unordered_set<gbbs::vertex_id> distinct(clusters.begin(),
+                                                 clusters.end());
+    const auto cut = gbbs::num_cut_edges(g, clusters);
+    return std::to_string(distinct.size()) + " clusters, " +
+           std::to_string(cut) + " cut edges (" +
+           std::to_string(100.0 * cut / std::max<std::uint64_t>(
+                                            1, g.num_edges())) +
+           "% of m)";
+  });
+  return 0;
+}

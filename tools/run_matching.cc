@@ -1,0 +1,22 @@
+// Maximal matching runner: ./run_matching -g rmat:16
+#include "algorithms/maximal_matching.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("MaximalMatching", o, [&] {
+    auto matching = gbbs::maximal_matching(g, parlib::random(o.seed));
+    return "matching of size " + std::to_string(matching.size());
+  });
+  if (o.verify) {
+    tools::report_verification(
+        "MaximalMatching",
+        gbbs::seq::is_valid_maximal_matching(
+            g, gbbs::maximal_matching(g, parlib::random(o.seed))));
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Maximal independent set runner: ./run_mis -g rmat:16
+#include "algorithms/mis.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("MIS", o, [&] {
+    auto in_set = gbbs::mis_rootset(g, parlib::random(o.seed));
+    std::size_t size = 0;
+    for (auto f : in_set) size += f;
+    return "independent set of size " + std::to_string(size);
+  });
+  if (o.verify) {
+    tools::report_verification(
+        "MIS",
+        gbbs::seq::is_valid_mis(g, gbbs::mis_rootset(g, parlib::random(
+                                                            o.seed))));
+  }
+  return 0;
+}

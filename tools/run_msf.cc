@@ -1,0 +1,26 @@
+// Minimum spanning forest runner: ./run_msf -g rmat:16
+#include "algorithms/msf.h"
+#include "runner.h"
+#include "seq/reference.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric_weighted(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("MSF", o, [&] {
+    auto res = gbbs::msf(g);
+    return std::to_string(res.forest.size()) + " edges, total weight " +
+           std::to_string(res.total_weight) + ", " +
+           std::to_string(res.num_filter_steps) + " filter steps";
+  });
+  if (o.verify) {
+    auto all = g.edges();
+    auto half =
+        parlib::filter(all, [](const auto& e) { return e.u < e.v; });
+    tools::report_verification(
+        "MSF", gbbs::msf(g).total_weight ==
+                   gbbs::seq::msf_weight(g.num_vertices(), half));
+  }
+  return 0;
+}

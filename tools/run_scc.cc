@@ -1,0 +1,25 @@
+// SCC runner (directed input): ./run_scc -g rmat:16
+#include <unordered_map>
+
+#include "algorithms/scc.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_directed(o);
+  std::printf("n=%u m=%llu (directed)\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("SCC", o, [&] {
+    gbbs::scc_options so;
+    so.rng = parlib::random(o.seed);
+    auto res = gbbs::scc(g, so);
+    std::unordered_map<gbbs::vertex_id, std::size_t> sizes;
+    for (auto l : res.labels) sizes[l]++;
+    std::size_t largest = 0;
+    for (const auto& [l, s] : sizes) largest = std::max(largest, s);
+    return std::to_string(sizes.size()) + " SCCs, largest " +
+           std::to_string(largest) + ", " + std::to_string(res.num_phases) +
+           " phases";
+  });
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Approximate set cover runner over vertex neighborhoods:
+//   ./run_set_cover -g rmat:14
+#include "algorithms/set_cover.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  // Sets = closed vertex neighborhoods, elements = vertices.
+  const gbbs::vertex_id n = g.num_vertices();
+  auto flat = g.edges();
+  std::vector<gbbs::edge<gbbs::empty_weight>> edges(flat.size() + n);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    edges[i] = {flat[i].u, static_cast<gbbs::vertex_id>(n + flat[i].v), {}};
+  }
+  for (gbbs::vertex_id v = 0; v < n; ++v) {
+    edges[flat.size() + v] = {v, static_cast<gbbs::vertex_id>(n + v), {}};
+  }
+  auto cover_g =
+      gbbs::build_symmetric_graph<gbbs::empty_weight>(2 * n, edges);
+  tools::run_rounds("SetCover", o, [&] {
+    gbbs::set_cover_options so;
+    so.rng = parlib::random(o.seed);
+    auto res = gbbs::set_cover(cover_g, n, so);
+    return "cover of " + std::to_string(res.cover.size()) +
+           " neighborhoods, " + std::to_string(res.num_rounds) + " rounds";
+  });
+  return 0;
+}

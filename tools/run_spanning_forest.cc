@@ -1,0 +1,21 @@
+// Spanning forest runner (BFS-based and LDD-based variants):
+//   ./run_spanning_forest -g rmat:16
+#include "algorithms/spanning_forest.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("SpanningForest(BFS)", o, [&] {
+    auto sf = gbbs::spanning_forest(g);
+    return std::to_string(gbbs::forest_edges(sf.parents).size()) +
+           " tree edges, " + std::to_string(sf.roots.size()) + " trees";
+  });
+  tools::run_rounds("SpanningForest(LDD)", o, [&] {
+    auto edges = gbbs::spanning_forest_ldd(g, 0.2, parlib::random(o.seed));
+    return std::to_string(edges.size()) + " tree edges";
+  });
+  return 0;
+}

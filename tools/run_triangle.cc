@@ -1,0 +1,14 @@
+// Triangle counting runner: ./run_triangle -g rmat:14
+#include "algorithms/triangle.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("TriangleCounting", o, [&] {
+    return std::to_string(gbbs::triangle_count(g)) + " triangles";
+  });
+  return 0;
+}

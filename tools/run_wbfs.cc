@@ -1,0 +1,25 @@
+// Weighted BFS (bucketed SSSP) runner: ./run_wbfs -g rmat:16 -src 3
+#include "algorithms/wbfs.h"
+#include "runner.h"
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  auto g = tools::load_symmetric_weighted(o);
+  std::printf("n=%u m=%llu\n", g.num_vertices(),
+              static_cast<unsigned long long>(g.num_edges()));
+  tools::run_rounds("wBFS", o, [&] {
+    auto res = gbbs::wbfs(g, o.src);
+    std::uint64_t sum = 0;
+    std::size_t reached = 0;
+    for (auto d : res.dist) {
+      if (d != std::numeric_limits<std::uint32_t>::max()) {
+        ++reached;
+        sum += d;
+      }
+    }
+    return "reached " + std::to_string(reached) + ", distance sum " +
+           std::to_string(sum) + ", " + std::to_string(res.num_rounds) +
+           " bucket rounds";
+  });
+  return 0;
+}
