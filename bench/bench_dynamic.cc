@@ -1,0 +1,80 @@
+// Ingest throughput of the batch-dynamic subsystem vs. batch size.
+//
+// For each batch size the same R-MAT edge stream is replayed three ways:
+//   ingest       — dynamic_graph::apply only (normalize + delta merge);
+//   ingest+cc    — apply plus incremental connectivity per batch;
+//   +compact     — one compact() at stream end (amortized per edge).
+// Reported as medges/s over the raw update count, single-run (the stream
+// is consumed once per measurement), plus the final static-rebuild
+// baseline build_symmetric_graph for reference.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_connectivity.h"
+#include "dynamic/stream.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+
+struct ingest_result {
+  double apply_s = 0;
+  double cc_s = 0;
+  double compact_s = 0;
+};
+
+ingest_result replay(const std::vector<gbbs::edge<empty_weight>>& edges,
+                     vertex_id n, std::size_t batch_size) {
+  gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+  gbbs::dynamic::dynamic_unweighted_graph dg(n);
+  gbbs::dynamic::incremental_connectivity cc(n);
+  ingest_result r;
+  while (!stream.done()) {
+    auto raw = stream.next_inserts(batch_size);
+    gbbs::dynamic::update_batch<empty_weight> batch;
+    r.apply_s += bench::time_once(
+        [&] { batch = dg.apply(std::move(raw)); });
+    r.cc_s += bench::time_once([&] { cc.apply(batch, dg); });
+  }
+  r.compact_s = bench::time_once([&] { dg.compact(); });
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t scale = bench::bench_scale() - 2;
+  const std::size_t m = std::size_t{12} << scale;
+  auto g = gbbs::rmat_symmetric(scale, m, 101);
+  auto edges = gbbs::dynamic::undirected_stream_edges(g);
+  const vertex_id n = g.num_vertices();
+  const double medges = static_cast<double>(edges.size()) / 1e6;
+
+  std::printf("== dynamic ingest (n=%u, %zu streamed edges, workers=%zu) ==\n",
+              n, edges.size(), parlib::num_workers());
+  std::printf("%-12s %12s %12s %12s %12s\n", "batch", "ingest Me/s",
+              "ingest+cc", "+compact", "compact(s)");
+  for (std::size_t batch_size :
+       {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 16,
+        std::size_t{1} << 19}) {
+    const auto r = replay(edges, n, batch_size);
+    const double ingest = medges / r.apply_s;
+    const double with_cc = medges / (r.apply_s + r.cc_s);
+    const double with_compact =
+        medges / (r.apply_s + r.cc_s + r.compact_s);
+    std::printf("%-12zu %12.2f %12.2f %12.2f %12.4f\n", batch_size, ingest,
+                with_cc, with_compact, r.compact_s);
+    std::fflush(stdout);
+  }
+  const double rebuild_s = bench::time_best([&] {
+    auto rebuilt = gbbs::build_symmetric_graph<empty_weight>(n, edges);
+    (void)rebuilt;
+  });
+  std::printf("static rebuild baseline: %.4f s (%.2f Me/s)\n", rebuild_s,
+              medges / rebuild_s);
+  return 0;
+}

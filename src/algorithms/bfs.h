@@ -26,7 +26,7 @@ struct bfs_f {
   std::uint32_t round;
 
   bool cond(vertex_id v) const { return !(*visited)[v]; }
-  bool update(vertex_id u, vertex_id v, auto) const {
+  bool update(vertex_id, vertex_id v, auto) const {
     if (!(*visited)[v]) {
       (*visited)[v] = 1;
       (*dist)[v] = round;
@@ -34,7 +34,7 @@ struct bfs_f {
     }
     return false;
   }
-  bool update_atomic(vertex_id u, vertex_id v, auto) const {
+  bool update_atomic(vertex_id, vertex_id v, auto) const {
     if (parlib::test_and_set(&(*visited)[v])) {
       (*dist)[v] = round;
       return true;

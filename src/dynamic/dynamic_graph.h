@@ -1,0 +1,339 @@
+// Batch-dynamic graph: a static CSR snapshot (gbbs::graph) plus a
+// per-vertex *delta overlay* absorbing edge updates between snapshots —
+// the ingest-then-query architecture of streaming graph systems (katana /
+// Simsiri et al.), layered over the repo's existing static stack.
+//
+// Representation. base_ is an immutable CSR; delta_[u] is a short vector,
+// sorted by neighbor id, of overrides relative to base_:
+//   {v, w, present=true}   edge (u,v) exists with weight w (insert or
+//                          weight overwrite of a base edge);
+//   {v, -, present=false}  edge (u,v) is erased (tombstone for a base
+//                          edge).
+// Entries that would restate the base verbatim are pruned during batch
+// application, so |delta_[u]| is bounded by the number of *effective*
+// updates since the last compact(), not by the raw stream length.
+//
+// The live neighborhood of u is the ordered two-pointer merge of
+// base_.out_neighbors(u) with delta_[u]; map_out / decode_out_break /
+// out_degree expose exactly the neighborhood-iteration concept the static
+// graph has, and materialize()/compact() produce a fresh CSR snapshot in
+// O(n + m) work so every static algorithm (edge_map included) keeps
+// running on snapshots.
+//
+// Batches are applied with one parallel task per *distinct updated
+// vertex* (runs of the (u,v)-sorted batch), each doing an O(delta + run)
+// sorted merge plus an O(run · log deg_base) membership probe — i.e. work
+// proportional to the batch, never to the whole graph.
+//
+// Vertex ids beyond the current vertex count grow the graph (n-growing
+// batches); erases of absent edges and empty batches are no-ops.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs::dynamic {
+
+template <typename W>
+struct delta_entry {
+  vertex_id v;
+  [[no_unique_address]] W w;
+  bool present;  // true: live with weight w; false: tombstone
+};
+
+template <typename W>
+class dynamic_graph {
+ public:
+  using weight_type = W;
+
+  // Empty graph with n vertices.
+  explicit dynamic_graph(vertex_id n = 0, bool symmetric = true)
+      : symmetric_(symmetric), n_(n), delta_(n), deg_(n, 0) {}
+
+  // Seed from an existing static snapshot.
+  explicit dynamic_graph(graph<W> base)
+      : symmetric_(base.symmetric()),
+        n_(base.num_vertices()),
+        m_(base.num_edges()),
+        delta_(n_) {
+    deg_ = parlib::tabulate<vertex_id>(n_, [&](std::size_t v) {
+      return base.out_degree(static_cast<vertex_id>(v));
+    });
+    base_ = std::move(base);
+  }
+
+  vertex_id num_vertices() const { return n_; }
+  edge_id num_edges() const { return m_; }
+  bool symmetric() const { return symmetric_; }
+  vertex_id out_degree(vertex_id v) const { return deg_[v]; }
+
+  // Updates absorbed since the last compact() (across all vertices).
+  std::size_t delta_size() const {
+    auto sizes = parlib::tabulate<std::size_t>(
+        n_, [&](std::size_t v) { return delta_[v].size(); });
+    return parlib::reduce_add(sizes);
+  }
+
+  // ---- ingest ------------------------------------------------------------
+
+  // Normalize a raw update stream (mirroring it for symmetric graphs) and
+  // apply it. Returns the normalized batch so callers (e.g. the
+  // connectivity tracker) can reuse it without re-normalizing.
+  update_batch<W> apply(std::vector<update<W>> raw) {
+    auto batch = make_batch(std::move(raw), symmetric_);
+    apply_batch(batch);
+    return batch;
+  }
+
+  // Apply an already-normalized batch (for symmetric graphs it must have
+  // been built with mirror=true). O(batch + touched deltas) work.
+  void apply_batch(const update_batch<W>& batch) {
+    // Grow even when every update was normalized away (e.g. a batch of
+    // self-loops on fresh ids): max_vertex covers the raw endpoints, and
+    // consumers (incremental_connectivity) grow by the same rule.
+    grow(batch.max_vertex);
+    if (batch.empty()) return;
+    const auto& ups = batch.updates;
+    // One merge task per distinct updated vertex (run of the sorted batch).
+    auto is_start = parlib::tabulate<std::uint8_t>(
+        ups.size(), [&](std::size_t i) {
+          return static_cast<std::uint8_t>(i == 0 ||
+                                           ups[i - 1].u != ups[i].u);
+        });
+    auto starts = parlib::pack_index<std::size_t>(is_start);
+    std::vector<long long> dm(starts.size());
+    parlib::parallel_for(0, starts.size(), [&](std::size_t r) {
+      const std::size_t lo = starts[r];
+      const std::size_t hi =
+          r + 1 < starts.size() ? starts[r + 1] : ups.size();
+      const vertex_id u = ups[lo].u;
+      dm[r] = merge_run(u, &ups[lo], hi - lo);
+      deg_[u] = static_cast<vertex_id>(
+          static_cast<long long>(deg_[u]) + dm[r]);
+    });
+    m_ = static_cast<edge_id>(static_cast<long long>(m_) +
+                              parlib::reduce_add(dm));
+  }
+
+  // Extend the vertex set to cover ids < n (new vertices are isolated).
+  void grow(vertex_id n) {
+    if (n <= n_) return;
+    delta_.resize(n);
+    deg_.resize(n, 0);
+    n_ = n;
+  }
+
+  // ---- queries (live view) ----------------------------------------------
+
+  bool contains_edge(vertex_id u, vertex_id v) const {
+    if (u >= n_) return false;
+    const auto& d = delta_[u];
+    auto it = std::lower_bound(
+        d.begin(), d.end(), v,
+        [](const delta_entry<W>& e, vertex_id x) { return e.v < x; });
+    if (it != d.end() && it->v == v) return it->present;
+    return base_lookup(u, v).first;
+  }
+
+  std::optional<W> edge_weight(vertex_id u, vertex_id v) const {
+    if (u >= n_) return std::nullopt;
+    const auto& d = delta_[u];
+    auto it = std::lower_bound(
+        d.begin(), d.end(), v,
+        [](const delta_entry<W>& e, vertex_id x) { return e.v < x; });
+    if (it != d.end() && it->v == v) {
+      if (it->present) return it->w;
+      return std::nullopt;
+    }
+    auto [has, w] = base_lookup(u, v);
+    if (has) return w;
+    return std::nullopt;
+  }
+
+  // f(u, ngh, w) over the live out-neighborhood of u, in ascending neighbor
+  // order (the ordered merge of base and delta).
+  template <typename F>
+  void map_out(vertex_id u, const F& f) const {
+    decode_out_break(u, [&](vertex_id a, vertex_id b, W w) {
+      f(a, b, w);
+      return true;
+    });
+  }
+
+  // Early-exit decode, mirroring graph::decode_out_break.
+  template <typename F>
+  void decode_out_break(vertex_id u, const F& f) const {
+    const auto base_nghs = base_neighbors(u);
+    const auto& d = delta_[u];
+    std::size_t i = 0, j = 0;
+    while (i < d.size() || j < base_nghs.size()) {
+      if (j == base_nghs.size() ||
+          (i < d.size() && d[i].v < base_nghs[j])) {
+        if (d[i].present) {
+          if (!f(u, d[i].v, d[i].w)) return;
+        }
+        ++i;
+      } else if (i == d.size() || base_nghs[j] < d[i].v) {
+        if (!f(u, base_nghs[j], base_.out_weight(u, j))) return;
+        ++j;
+      } else {  // same neighbor: delta overrides base
+        if (d[i].present) {
+          if (!f(u, d[i].v, d[i].w)) return;
+        }
+        ++i;
+        ++j;
+      }
+    }
+  }
+
+  // ---- snapshots ---------------------------------------------------------
+
+  // Fresh static CSR of the live graph; O(n + m) work. The dynamic graph
+  // is left untouched — use for running static algorithms mid-stream.
+  graph<W> snapshot() const {
+    std::vector<edge_id> offsets;
+    std::vector<vertex_id> nghs;
+    std::vector<W> wghs;
+    const edge_id total = merged_csr(offsets, nghs, wghs);
+    if (symmetric_) {
+      return graph<W>(n_, total, /*symmetric=*/true, std::move(offsets),
+                      std::move(nghs), std::move(wghs));
+    }
+    // Asymmetric: transpose the merged out-CSR for the in-CSR.
+    std::vector<edge<W>> rev(total);
+    parlib::parallel_for(0, n_, [&](std::size_t v) {
+      for (edge_id e = offsets[v]; e < offsets[v + 1]; ++e) {
+        W w{};
+        if constexpr (!std::is_same_v<W, empty_weight>) w = wghs[e];
+        rev[e] = {nghs[e], static_cast<vertex_id>(v), w};
+      }
+    });
+    std::vector<edge_id> in_off;
+    std::vector<vertex_id> in_ngh;
+    std::vector<W> in_w;
+    gbbs::internal::csr_from_unsorted(std::move(rev), n_, in_off, in_ngh,
+                                      in_w);
+    return graph<W>(n_, total, /*symmetric=*/false, std::move(offsets),
+                    std::move(nghs), std::move(wghs), std::move(in_off),
+                    std::move(in_ngh), std::move(in_w));
+  }
+
+  // Fold the delta overlay into a fresh base CSR and clear it. Queries and
+  // snapshots after compact() are pure CSR reads.
+  void compact() {
+    base_ = snapshot();
+    delta_.assign(n_, {});
+  }
+
+  const graph<W>& base() const { return base_; }
+
+ private:
+  std::span<const vertex_id> base_neighbors(vertex_id u) const {
+    if (u >= base_.num_vertices()) return {};
+    return base_.out_neighbors(u);
+  }
+
+  std::pair<bool, W> base_lookup(vertex_id u, vertex_id v) const {
+    const auto nghs = base_neighbors(u);
+    auto it = std::lower_bound(nghs.begin(), nghs.end(), v);
+    if (it != nghs.end() && *it == v) {
+      return {true, base_.out_weight(u, static_cast<std::size_t>(
+                                            it - nghs.begin()))};
+    }
+    return {false, W{}};
+  }
+
+  // Merge a (v-sorted) run of updates for vertex u into delta_[u].
+  // Returns the change in u's live degree.
+  long long merge_run(vertex_id u, const update<W>* run, std::size_t len) {
+    const std::vector<delta_entry<W>>& old = delta_[u];
+    std::vector<delta_entry<W>> merged;
+    merged.reserve(old.size() + len);
+    long long dm = 0;
+    std::size_t i = 0, j = 0;
+    auto absorb = [&](const update<W>& up, bool cur_present, bool in_base,
+                      W base_w) {
+      const bool new_present = up.op == update_op::insert;
+      dm += static_cast<long long>(new_present) -
+            static_cast<long long>(cur_present);
+      if (new_present) {
+        // Prune entries that restate the base edge verbatim.
+        if (!(in_base && base_w == up.w)) {
+          merged.push_back({up.v, up.w, true});
+        }
+      } else if (in_base) {
+        merged.push_back({up.v, W{}, false});  // tombstone a base edge
+      }
+      // erase of a non-base edge: drop entirely (no-op or undoes a delta
+      // insert).
+    };
+    while (i < old.size() || j < len) {
+      if (j == len || (i < old.size() && old[i].v < run[j].v)) {
+        merged.push_back(old[i]);
+        ++i;
+      } else if (i == old.size() || run[j].v < old[i].v) {
+        const auto [in_base, base_w] = base_lookup(u, run[j].v);
+        absorb(run[j], /*cur_present=*/in_base, in_base, base_w);
+        ++j;
+      } else {  // same neighbor: the batch overrides the old delta entry
+        const auto [in_base, base_w] = base_lookup(u, run[j].v);
+        absorb(run[j], old[i].present, in_base, base_w);
+        ++i;
+        ++j;
+      }
+    }
+    delta_[u] = std::move(merged);
+    return dm;
+  }
+
+  // Build the merged out-CSR (offsets/nghs/wghs) of the live graph.
+  edge_id merged_csr(std::vector<edge_id>& offsets,
+                     std::vector<vertex_id>& nghs,
+                     std::vector<W>& wghs) const {
+    auto degs = parlib::tabulate<edge_id>(
+        n_, [&](std::size_t v) { return deg_[v]; });
+    const edge_id total = parlib::scan_inplace(degs);
+    assert(total == m_);
+    offsets.assign(static_cast<std::size_t>(n_) + 1, 0);
+    parlib::parallel_for(0, n_, [&](std::size_t v) { offsets[v] = degs[v]; });
+    offsets[n_] = total;
+    nghs.resize(total);
+    if constexpr (!std::is_same_v<W, empty_weight>) wghs.resize(total);
+    parlib::parallel_for(0, n_, [&](std::size_t v) {
+      edge_id k = offsets[v];
+      decode_out_break(static_cast<vertex_id>(v),
+                       [&](vertex_id, vertex_id ngh, W w) {
+                         nghs[k] = ngh;
+                         if constexpr (!std::is_same_v<W, empty_weight>) {
+                           wghs[k] = w;
+                         }
+                         ++k;
+                         return true;
+                       });
+      assert(k == offsets[v + 1]);
+    });
+    return total;
+  }
+
+  bool symmetric_ = true;
+  vertex_id n_ = 0;
+  edge_id m_ = 0;
+  graph<W> base_;
+  std::vector<std::vector<delta_entry<W>>> delta_;  // sorted by neighbor id
+  std::vector<vertex_id> deg_;                      // live out-degrees
+};
+
+using dynamic_unweighted_graph = dynamic_graph<empty_weight>;
+using dynamic_weighted_graph = dynamic_graph<std::uint32_t>;
+
+}  // namespace gbbs::dynamic

@@ -1,0 +1,138 @@
+// Normalized batches of edge updates — the unit of work of the
+// batch-dynamic subsystem (after Simsiri et al., "Work-Efficient Parallel
+// and Incremental Graph Connectivity": bulk-parallel batches, not
+// single-edge updates).
+//
+// A raw update stream may contain self-loops, duplicates, and conflicting
+// operations on the same edge. make_batch normalizes it in parallel with
+// the same machinery graph_builder uses (stable two-pass radix sort by
+// (u, v), flag-and-pack):
+//   * self-loops are dropped;
+//   * updates are sorted lexicographically by (u, v);
+//   * of several updates to the same (u, v), the LAST in stream order wins
+//     (stream semantics — an insert followed by an erase of the same edge
+//     is an erase; graph_builder's first-weight-wins rule applies to static
+//     edge lists, where order carries no meaning).
+// Vertex ids beyond the current graph size are legal: batches carry
+// max_vertex so dynamic_graph can grow its vertex set (n-growing batches).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "parlib/integer_sort.h"
+#include "parlib/monoid.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs::dynamic {
+
+enum class update_op : std::uint8_t {
+  insert,  // add the edge, or overwrite its weight if already present
+  erase,   // remove the edge; a no-op if absent
+};
+
+template <typename W>
+struct update {
+  vertex_id u;
+  vertex_id v;
+  [[no_unique_address]] W w;
+  update_op op;
+};
+
+// A normalized batch: sorted by (u, v), no self-loops, at most one update
+// per directed edge. Produce via make_batch.
+template <typename W>
+struct update_batch {
+  std::vector<update<W>> updates;
+  // One past the largest endpoint referenced (0 for an empty batch);
+  // dynamic_graph grows its vertex set to cover this.
+  vertex_id max_vertex = 0;
+
+  std::size_t size() const { return updates.size(); }
+  bool empty() const { return updates.empty(); }
+
+  bool has_erases() const {
+    return parlib::count_if(updates, [](const update<W>& e) {
+             return e.op == update_op::erase;
+           }) > 0;
+  }
+};
+
+namespace internal {
+
+// Stable radix sort by (u, v); within equal (u, v) stream order survives.
+template <typename W>
+void sort_updates(std::vector<update<W>>& ups, vertex_id max_vertex) {
+  std::size_t bits = 1;
+  while ((static_cast<std::uint64_t>(max_vertex) >> bits) != 0) ++bits;
+  parlib::integer_sort_inplace(
+      ups, [](const update<W>& e) { return e.v; }, bits);
+  parlib::integer_sort_inplace(
+      ups, [](const update<W>& e) { return e.u; }, bits);
+}
+
+}  // namespace internal
+
+// Normalize a raw update stream into a batch. If `mirror` is set (symmetric
+// graphs), every update is first doubled into both directions, so the batch
+// stays closed under reversal the same way build_symmetric_graph's edge
+// list is.
+template <typename W>
+update_batch<W> make_batch(std::vector<update<W>> raw, bool mirror = false) {
+  if (mirror) {
+    const std::size_t k = raw.size();
+    raw.resize(2 * k);
+    parlib::parallel_for(0, k, [&](std::size_t i) {
+      raw[k + i] = {raw[i].v, raw[i].u, raw[i].w, raw[i].op};
+    });
+    // Interleave so that for each raw index both directions are adjacent in
+    // stream order: mirrored copies must not override later originals.
+    auto interleaved = parlib::tabulate<update<W>>(2 * k, [&](std::size_t i) {
+      return (i % 2 == 0) ? raw[i / 2] : raw[k + i / 2];
+    });
+    raw.swap(interleaved);
+  }
+  update_batch<W> batch;
+  if (raw.empty()) return batch;
+  auto maxima = parlib::map(raw, [](const update<W>& e) {
+    return std::max(e.u, e.v);
+  });
+  batch.max_vertex =
+      parlib::reduce(maxima, parlib::max_monoid<vertex_id>()) + 1;
+  internal::sort_updates(raw, batch.max_vertex);
+  auto keep = parlib::tabulate<std::uint8_t>(raw.size(), [&](std::size_t i) {
+    const auto& e = raw[i];
+    if (e.u == e.v) return std::uint8_t{0};  // self-loop
+    // Keep only the last update per (u, v): stream order is preserved by
+    // the stable sort, so "last in the run" is "last in the stream".
+    if (i + 1 < raw.size() && raw[i + 1].u == e.u && raw[i + 1].v == e.v)
+      return std::uint8_t{0};
+    return std::uint8_t{1};
+  });
+  batch.updates = parlib::pack(raw, keep);
+  return batch;
+}
+
+// Convenience: an all-inserts batch from a static edge list.
+template <typename W>
+update_batch<W> insert_batch(const std::vector<edge<W>>& edges,
+                             bool mirror = false) {
+  auto raw = parlib::tabulate<update<W>>(edges.size(), [&](std::size_t i) {
+    return update<W>{edges[i].u, edges[i].v, edges[i].w, update_op::insert};
+  });
+  return make_batch(std::move(raw), mirror);
+}
+
+// Convenience: an all-erases batch from a static edge list.
+template <typename W>
+update_batch<W> erase_batch(const std::vector<edge<W>>& edges,
+                            bool mirror = false) {
+  auto raw = parlib::tabulate<update<W>>(edges.size(), [&](std::size_t i) {
+    return update<W>{edges[i].u, edges[i].v, edges[i].w, update_op::erase};
+  });
+  return make_batch(std::move(raw), mirror);
+}
+
+}  // namespace gbbs::dynamic

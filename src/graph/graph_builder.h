@@ -34,6 +34,11 @@ namespace internal {
 
 template <typename W>
 std::vector<edge<W>> clean_edges(std::vector<edge<W>> edges, vertex_id n) {
+  // Drop edges with endpoints outside [0, n) up front: they would corrupt
+  // the CSR offset array. Callers that want them must grow n instead (the
+  // batch-dynamic subsystem does).
+  edges = parlib::filter(
+      edges, [n](const edge<W>& e) { return e.u < n && e.v < n; });
   builder_internal::sort_edges(edges, n);
   auto keep = parlib::tabulate<std::uint8_t>(edges.size(), [&](std::size_t i) {
     const auto& e = edges[i];
@@ -86,6 +91,17 @@ void csr_from_sorted(const std::vector<edge<W>>& edges, vertex_id n,
   });
 }
 
+// CSR arrays from an edge list in arbitrary order: sort by (u, v), then
+// lay out. Shared by the asymmetric builder's in-CSR transpose and the
+// dynamic subsystem's snapshot transpose.
+template <typename W>
+void csr_from_unsorted(std::vector<edge<W>> edges, vertex_id n,
+                       std::vector<edge_id>& offsets,
+                       std::vector<vertex_id>& nghs, std::vector<W>& wghs) {
+  builder_internal::sort_edges(edges, n);
+  csr_from_sorted(edges, n, offsets, nghs, wghs);
+}
+
 }  // namespace internal
 
 // Build an undirected (symmetric) graph: every input edge is inserted in
@@ -119,8 +135,7 @@ graph<W> build_asymmetric_graph(vertex_id n, std::vector<edge<W>> edges) {
   auto rev = parlib::tabulate<edge<W>>(clean.size(), [&](std::size_t i) {
     return edge<W>{clean[i].v, clean[i].u, clean[i].w};
   });
-  builder_internal::sort_edges(rev, n);
-  internal::csr_from_sorted(rev, n, in_off, in_ngh, in_w);
+  internal::csr_from_unsorted(std::move(rev), n, in_off, in_ngh, in_w);
   return graph<W>(n, clean.size(), /*symmetric=*/false, std::move(out_off),
                   std::move(out_ngh), std::move(out_w), std::move(in_off),
                   std::move(in_ngh), std::move(in_w));

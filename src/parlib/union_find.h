@@ -49,6 +49,17 @@ class union_find {
 
   std::size_t size() const { return parent_.size(); }
 
+  // Append fresh singleton elements [size(), n). Not safe to call
+  // concurrently with find/unite — callers (the batch-dynamic subsystem)
+  // grow between batches, never during one.
+  void resize(std::size_t n) {
+    const std::size_t old = parent_.size();
+    if (n <= old) return;
+    parent_.resize(n);
+    parallel_for(old, n,
+                 [&](std::size_t i) { parent_[i] = static_cast<id_t>(i); });
+  }
+
   // Fully compress and return the labels array (label = root id).
   std::vector<id_t> labels() {
     std::vector<id_t> out(parent_.size());

@@ -29,7 +29,9 @@ TEST(Bucketing, IncreasingTraversalVisitsAllInOrder) {
   while (true) {
     auto [bkt, ids] = b.next_bucket();
     if (bkt == kNullBucket) break;
-    if (!first) EXPECT_GT(bkt, last);
+    if (!first) {
+      EXPECT_GT(bkt, last);
+    }
     first = false;
     last = bkt;
     for (vertex_id v : ids) {
@@ -53,7 +55,9 @@ TEST(Bucketing, DecreasingTraversal) {
   while (true) {
     auto [bkt, ids] = b.next_bucket();
     if (bkt == kNullBucket) break;
-    if (!first) EXPECT_LT(bkt, last);
+    if (!first) {
+      EXPECT_LT(bkt, last);
+    }
     first = false;
     last = bkt;
     for (vertex_id v : ids) {
@@ -115,7 +119,9 @@ TEST(Bucketing, OverflowRedistributes) {
   while (true) {
     auto [bkt, ids] = b.next_bucket();
     if (bkt == kNullBucket) break;
-    if (!first) EXPECT_GT(bkt, last);
+    if (!first) {
+      EXPECT_GT(bkt, last);
+    }
     first = false;
     last = bkt;
     for (vertex_id v : ids) {

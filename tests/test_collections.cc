@@ -94,7 +94,9 @@ TEST(GroupBy, GroupsMatchReference) {
   ASSERT_EQ(got.size(), expected.size());
   std::uint32_t prev_key = 0;
   for (std::size_t g = 0; g < got.size(); ++g) {
-    if (g > 0) ASSERT_GT(got[g].first, prev_key);  // keys ascending
+    if (g > 0) {
+      ASSERT_GT(got[g].first, prev_key);  // keys ascending
+    }
     prev_key = got[g].first;
     ASSERT_EQ(got[g].second, expected[got[g].first]);  // stable order
   }

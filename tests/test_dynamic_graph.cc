@@ -1,0 +1,288 @@
+// Tests for the batch-dynamic graph: live-view queries, erase semantics,
+// weight overwrites, n-growing batches, and the snapshot-vs-rebuild
+// equivalence the subsystem is specified by: replaying any edge stream in
+// batches then compacting yields a CSR identical to graph_builder on the
+// full edge list.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/stream.h"
+#include "dynamic/update_batch.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+
+namespace {
+
+using gbbs::edge;
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+using gbbs::dynamic::dynamic_graph;
+using gbbs::dynamic::update;
+using gbbs::dynamic::update_op;
+
+using uw_update = update<empty_weight>;
+
+uw_update ins(vertex_id u, vertex_id v) {
+  return {u, v, {}, update_op::insert};
+}
+uw_update ers(vertex_id u, vertex_id v) {
+  return {u, v, {}, update_op::erase};
+}
+
+template <typename G1, typename G2>
+void expect_same_csr(const G1& a, const G2& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (vertex_id v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.out_neighbors(v);
+    auto nb = b.out_neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "degree of " << v;
+    for (std::size_t j = 0; j < na.size(); ++j) {
+      ASSERT_EQ(na[j], nb[j]) << "neighbor " << j << " of " << v;
+      ASSERT_EQ(a.out_weight(v, j), b.out_weight(v, j))
+          << "weight " << j << " of " << v;
+    }
+  }
+}
+
+TEST(DynamicGraph, StartsEmpty) {
+  dynamic_graph<empty_weight> dg(4);
+  EXPECT_EQ(dg.num_vertices(), 4u);
+  EXPECT_EQ(dg.num_edges(), 0u);
+  EXPECT_EQ(dg.out_degree(2), 0u);
+  EXPECT_FALSE(dg.contains_edge(0, 1));
+}
+
+TEST(DynamicGraph, EmptyBatchIsNoOp) {
+  dynamic_graph<empty_weight> dg(4);
+  dg.apply({});
+  dg.apply_batch(gbbs::dynamic::make_batch<empty_weight>({}));
+  EXPECT_EQ(dg.num_vertices(), 4u);
+  EXPECT_EQ(dg.num_edges(), 0u);
+  dg.compact();
+  EXPECT_EQ(dg.base().num_vertices(), 4u);
+}
+
+TEST(DynamicGraph, InsertsAppearInLiveView) {
+  dynamic_graph<empty_weight> dg(4);  // symmetric: updates are mirrored
+  dg.apply({ins(0, 1), ins(0, 2), ins(2, 3)});
+  EXPECT_EQ(dg.num_edges(), 6u);  // directed slots, both directions
+  EXPECT_EQ(dg.out_degree(0), 2u);
+  EXPECT_TRUE(dg.contains_edge(0, 1));
+  EXPECT_TRUE(dg.contains_edge(1, 0));
+  EXPECT_TRUE(dg.contains_edge(3, 2));
+  EXPECT_FALSE(dg.contains_edge(1, 2));
+  std::vector<vertex_id> nghs;
+  dg.map_out(0, [&](vertex_id, vertex_id v, empty_weight) {
+    nghs.push_back(v);
+  });
+  EXPECT_EQ(nghs, (std::vector<vertex_id>{1, 2}));
+}
+
+TEST(DynamicGraph, DuplicateAndSelfLoopBatchesAreCleaned) {
+  dynamic_graph<empty_weight> dg(4);
+  dg.apply({ins(0, 1), ins(0, 1), ins(1, 1), ins(1, 0), ins(2, 2)});
+  EXPECT_EQ(dg.num_edges(), 2u);  // only (0,1)/(1,0)
+  EXPECT_FALSE(dg.contains_edge(1, 1));
+  EXPECT_FALSE(dg.contains_edge(2, 2));
+  expect_same_csr(dg.snapshot(),
+                  gbbs::build_symmetric_graph<empty_weight>(
+                      4, {{0, 1, {}}}));
+}
+
+TEST(DynamicGraph, EraseRemovesAcrossBatches) {
+  dynamic_graph<empty_weight> dg(4);
+  dg.apply({ins(0, 1), ins(1, 2)});
+  dg.apply({ers(0, 1)});
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_FALSE(dg.contains_edge(0, 1));
+  EXPECT_FALSE(dg.contains_edge(1, 0));
+  EXPECT_TRUE(dg.contains_edge(1, 2));
+  EXPECT_EQ(dg.out_degree(1), 1u);
+}
+
+TEST(DynamicGraph, EraseNonexistentEdgeIsNoOp) {
+  dynamic_graph<empty_weight> dg(4);
+  dg.apply({ins(0, 1)});
+  dg.apply({ers(2, 3), ers(0, 3)});  // neither edge exists
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_TRUE(dg.contains_edge(0, 1));
+  EXPECT_EQ(dg.out_degree(2), 0u);
+  // Erasing on a compacted base is equally a no-op.
+  dg.compact();
+  dg.apply({ers(2, 3)});
+  EXPECT_EQ(dg.num_edges(), 2u);
+}
+
+TEST(DynamicGraph, EraseThenReinsert) {
+  dynamic_graph<empty_weight> dg(3);
+  dg.apply({ins(0, 1)});
+  dg.compact();
+  dg.apply({ers(0, 1)});
+  EXPECT_FALSE(dg.contains_edge(0, 1));
+  dg.apply({ins(0, 1)});
+  EXPECT_TRUE(dg.contains_edge(0, 1));
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_EQ(dg.delta_size(), 0u);  // reinsert of a base edge cancels out
+}
+
+TEST(DynamicGraph, WeightOverwriteKeepsDegree) {
+  dynamic_graph<std::uint32_t> dg(3);
+  dg.apply({{0, 1, 10, update_op::insert}});
+  dg.compact();
+  dg.apply({{0, 1, 99, update_op::insert}});
+  EXPECT_EQ(dg.num_edges(), 2u);
+  EXPECT_EQ(dg.out_degree(0), 1u);
+  ASSERT_TRUE(dg.edge_weight(0, 1).has_value());
+  EXPECT_EQ(*dg.edge_weight(0, 1), 99u);
+  EXPECT_EQ(*dg.edge_weight(1, 0), 99u);
+  auto snap = dg.snapshot();
+  EXPECT_EQ(snap.out_weight(0, 0), 99u);
+}
+
+TEST(DynamicGraph, GrowingBatchExtendsVertexSet) {
+  dynamic_graph<empty_weight> dg(2);
+  dg.apply({ins(0, 1)});
+  dg.apply({ins(1, 5), ins(7, 3)});  // ids beyond current n
+  EXPECT_EQ(dg.num_vertices(), 8u);
+  EXPECT_TRUE(dg.contains_edge(5, 1));
+  EXPECT_TRUE(dg.contains_edge(3, 7));
+  EXPECT_EQ(dg.out_degree(6), 0u);
+  expect_same_csr(dg.snapshot(),
+                  gbbs::build_symmetric_graph<empty_weight>(
+                      8, {{0, 1, {}}, {1, 5, {}}, {7, 3, {}}}));
+}
+
+TEST(DynamicGraph, SeedsFromExistingSnapshot) {
+  auto g = gbbs::rmat_symmetric(8, 2000, 3);
+  vertex_id u = 0;
+  while (g.out_degree(u) == 0) ++u;
+  const vertex_id v = g.out_neighbors(u)[0];
+  dynamic_graph<empty_weight> dg(g);
+  EXPECT_EQ(dg.num_edges(), g.num_edges());
+  dg.apply({ers(u, v)});
+  auto snap = dg.snapshot();
+  EXPECT_EQ(snap.num_edges() + 2, g.num_edges());
+}
+
+// ---- the acceptance criterion: stream -> compact == graph_builder ------
+
+void stream_and_check(const std::vector<edge<empty_weight>>& edges,
+                      vertex_id n, std::size_t batch_size,
+                      bool check_every_batch) {
+  gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+  dynamic_graph<empty_weight> dg(n);
+  std::vector<edge<empty_weight>> seen;
+  while (!stream.done()) {
+    auto raw = stream.next_inserts(batch_size);
+    for (const auto& u : raw) seen.push_back({u.u, u.v, {}});
+    dg.apply(std::move(raw));
+    if (check_every_batch) {
+      expect_same_csr(dg.snapshot(),
+                      gbbs::build_symmetric_graph<empty_weight>(n, seen));
+    }
+  }
+  dg.compact();
+  expect_same_csr(dg.base(),
+                  gbbs::build_symmetric_graph<empty_weight>(n, edges));
+}
+
+TEST(DynamicGraph, StreamedRmatMatchesRebuild) {
+  auto edges = gbbs::rmat_edges(10, 8000, 42);
+  stream_and_check(edges, vertex_id{1} << 10, 1000,
+                   /*check_every_batch=*/false);
+}
+
+TEST(DynamicGraph, StreamedGridMatchesRebuildEveryBatch) {
+  auto edges = gbbs::grid2d_edges(20, 25);
+  stream_and_check(edges, 20 * 25, 97, /*check_every_batch=*/true);
+}
+
+TEST(DynamicGraph, BatchSizeDoesNotChangeTheResult) {
+  auto edges = gbbs::rmat_edges(9, 4000, 7);
+  const vertex_id n = vertex_id{1} << 9;
+  for (std::size_t batch : {std::size_t{64}, std::size_t{513},
+                            std::size_t{4000}}) {
+    stream_and_check(edges, n, batch, /*check_every_batch=*/false);
+  }
+}
+
+TEST(DynamicGraph, InsertThenEraseSubsetMatchesRebuildOfSurvivors) {
+  // Start from a deduplicated undirected edge set so "erased" and
+  // "survivor" partition the edges cleanly.
+  auto g = gbbs::rmat_symmetric(9, 4000, 11);
+  auto edges = gbbs::dynamic::undirected_stream_edges(g);
+  const vertex_id n = g.num_vertices();
+  dynamic_graph<empty_weight> dg(n);
+  dg.apply_batch(gbbs::dynamic::insert_batch(edges, /*mirror=*/true));
+  // Erase every third edge.
+  std::vector<uw_update> erases;
+  std::vector<edge<empty_weight>> survivors;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (i % 3 == 0) {
+      erases.push_back(ers(edges[i].u, edges[i].v));
+    } else {
+      survivors.push_back(edges[i]);
+    }
+  }
+  dg.apply(std::move(erases));
+  dg.compact();
+  expect_same_csr(dg.base(), gbbs::build_symmetric_graph<empty_weight>(
+                                 n, survivors));
+}
+
+TEST(DynamicGraph, AsymmetricStreamMatchesDirectedRebuild) {
+  auto edges = gbbs::rmat_edges(9, 4000, 5);
+  const vertex_id n = vertex_id{1} << 9;
+  dynamic_graph<empty_weight> dg(n, /*symmetric=*/false);
+  gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+  while (!stream.done()) {
+    dg.apply(stream.next_inserts(777));
+  }
+  dg.compact();
+  auto rebuilt = gbbs::build_asymmetric_graph<empty_weight>(n, edges);
+  expect_same_csr(dg.base(), rebuilt);
+  // The transposed in-CSR must match too.
+  for (vertex_id v = 0; v < n; ++v) {
+    auto na = dg.base().in_neighbors(v);
+    auto nb = rebuilt.in_neighbors(v);
+    ASSERT_TRUE(std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+        << "in-neighbors of " << v;
+  }
+}
+
+TEST(DynamicGraph, WeightedStreamRoundTrips) {
+  auto unweighted = gbbs::rmat_edges(9, 3000, 19);
+  auto edges = gbbs::with_random_weights(unweighted, 31, 23);
+  const vertex_id n = vertex_id{1} << 9;
+  dynamic_graph<std::uint32_t> dg(n);
+  gbbs::dynamic::edge_stream<std::uint32_t> stream(edges);
+  while (!stream.done()) {
+    dg.apply(stream.next_inserts(500));
+  }
+  dg.compact();
+  // Builder keeps the FIRST weight of a duplicate edge, the stream keeps
+  // the LAST; with_random_weights keys the weight on the endpoint pair, so
+  // duplicates carry equal weights and both conventions agree.
+  expect_same_csr(dg.base(),
+                  gbbs::build_symmetric_graph<std::uint32_t>(n, edges));
+}
+
+TEST(DynamicGraph, CompactIsIdempotentAndClearsDeltas) {
+  auto edges = gbbs::rmat_edges(8, 1500, 29);
+  dynamic_graph<empty_weight> dg(vertex_id{1} << 8);
+  dg.apply_batch(gbbs::dynamic::insert_batch(edges, /*mirror=*/true));
+  EXPECT_GT(dg.delta_size(), 0u);
+  dg.compact();
+  EXPECT_EQ(dg.delta_size(), 0u);
+  auto first = dg.base().edges();
+  dg.compact();
+  auto second = dg.base().edges();
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_EQ(dg.num_edges(), dg.base().num_edges());
+}
+
+}  // namespace

@@ -23,14 +23,14 @@ using gbbs::vertex_subset;
 // A BFS-style acquire functor over a visited array.
 struct acquire_f {
   std::vector<std::uint8_t>* visited;
-  bool update(vertex_id u, vertex_id v, empty_weight) const {
+  bool update(vertex_id, vertex_id v, empty_weight) const {
     if (!(*visited)[v]) {
       (*visited)[v] = 1;
       return true;
     }
     return false;
   }
-  bool update_atomic(vertex_id u, vertex_id v, empty_weight) const {
+  bool update_atomic(vertex_id, vertex_id v, empty_weight) const {
     return parlib::test_and_set(&(*visited)[v]);
   }
   bool cond(vertex_id v) const { return !(*visited)[v]; }

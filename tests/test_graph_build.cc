@@ -94,7 +94,9 @@ TEST(GraphBuild, WeightsFollowEdgesThroughBuild) {
       EXPECT_EQ(w, 30u);
       found = true;
     }
-    if (ngh == 1) EXPECT_EQ(w, 20u);
+    if (ngh == 1) {
+      EXPECT_EQ(w, 20u);
+    }
     return true;
   });
   EXPECT_TRUE(found);
@@ -195,6 +197,28 @@ TEST(GraphBuild, EmptyGraph) {
   EXPECT_EQ(g.num_vertices(), 5u);
   EXPECT_EQ(g.num_edges(), 0u);
   for (vertex_id v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 0u);
+}
+
+TEST(GraphBuild, ZeroVertexGraph) {
+  auto g = gbbs::build_symmetric_graph<empty_weight>(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  auto d = gbbs::build_asymmetric_graph<empty_weight>(0, {});
+  EXPECT_EQ(d.num_edges(), 0u);
+}
+
+TEST(GraphBuild, OutOfRangeEndpointsAreDropped) {
+  // Edges touching ids >= n must not corrupt the CSR (n-growing inputs
+  // belong to the dynamic subsystem; the static builder drops them).
+  std::vector<edge<empty_weight>> edges = {
+      {0, 1, {}}, {1, 9, {}}, {12, 0, {}}, {1, 2, {}}};
+  auto g = gbbs::build_symmetric_graph<empty_weight>(3, edges);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 4u);  // (0,1) and (1,2), both directions
+  auto d = gbbs::build_asymmetric_graph<empty_weight>(3, edges);
+  EXPECT_EQ(d.num_edges(), 2u);
+  EXPECT_EQ(d.out_degree(0), 1u);
+  EXPECT_EQ(d.out_degree(1), 1u);
 }
 
 }  // namespace

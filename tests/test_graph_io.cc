@@ -79,6 +79,61 @@ TEST(GraphIo, BinaryRoundTripWeighted) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIo, WeightedAdjacencyTextRoundTripDirected) {
+  auto g = gbbs::build_asymmetric_graph<std::uint32_t>(
+      256, gbbs::with_random_weights(gbbs::erdos_renyi_edges(256, 1500, 7),
+                                     31, 8));
+  const auto path = temp_path("adj_w_dir.txt");
+  gbbs::write_adjacency_graph(path, g);
+  auto g2 = gbbs::read_weighted_adjacency_graph(path, /*symmetric=*/false);
+  expect_same_graph(g, g2);
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(g.in_degree(v), g2.in_degree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRoundTripDirected) {
+  auto g = gbbs::rmat_directed(9, 4000, 9);
+  const auto path = temp_path("bin_dir.graph");
+  gbbs::write_binary_graph(path, g);
+  auto g2 = gbbs::read_binary_graph(path, /*symmetric=*/false);
+  expect_same_graph(g, g2);
+  // The in-CSR is rebuilt on read; it must transpose the same out-CSR.
+  for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(g.in_degree(v), g2.in_degree(v)) << v;
+    auto na = g.in_neighbors(v);
+    auto nb = g2.in_neighbors(v);
+    for (std::size_t j = 0; j < na.size(); ++j) ASSERT_EQ(na[j], nb[j]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, BinaryRoundTripWeightedDirected) {
+  auto g = gbbs::build_asymmetric_graph<std::uint32_t>(
+      512, gbbs::with_random_weights(gbbs::erdos_renyi_edges(512, 3000, 11),
+                                     63, 12));
+  const auto path = temp_path("bin_w_dir.graph");
+  gbbs::write_binary_graph(path, g);
+  auto g2 = gbbs::read_weighted_binary_graph(path, /*symmetric=*/false);
+  expect_same_graph(g, g2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, EmptyGraphRoundTrips) {
+  auto g = gbbs::build_symmetric_graph<gbbs::empty_weight>(16, {});
+  const auto text = temp_path("empty.txt");
+  gbbs::write_adjacency_graph(text, g);
+  auto g2 = gbbs::read_adjacency_graph(text, /*symmetric=*/true);
+  expect_same_graph(g, g2);
+  std::remove(text.c_str());
+  const auto bin = temp_path("empty.graph");
+  gbbs::write_binary_graph(bin, g);
+  auto g3 = gbbs::read_binary_graph(bin, /*symmetric=*/true);
+  expect_same_graph(g, g3);
+  std::remove(bin.c_str());
+}
+
 TEST(GraphIo, MissingFileThrows) {
   EXPECT_THROW(gbbs::read_adjacency_graph("/nonexistent/nowhere.txt", true),
                std::runtime_error);

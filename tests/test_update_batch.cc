@@ -1,0 +1,125 @@
+// Tests for update-batch normalization: sorting, last-wins dedup,
+// self-loop filtering, mirroring, and max_vertex tracking.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/update_batch.h"
+
+namespace {
+
+using gbbs::edge;
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+using gbbs::dynamic::make_batch;
+using gbbs::dynamic::update;
+using gbbs::dynamic::update_op;
+
+using uw_update = update<empty_weight>;
+
+uw_update ins(vertex_id u, vertex_id v) {
+  return {u, v, {}, update_op::insert};
+}
+uw_update ers(vertex_id u, vertex_id v) {
+  return {u, v, {}, update_op::erase};
+}
+
+TEST(UpdateBatch, EmptyStreamMakesEmptyBatch) {
+  auto batch = make_batch<empty_weight>({});
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_EQ(batch.max_vertex, 0u);
+  EXPECT_FALSE(batch.has_erases());
+}
+
+TEST(UpdateBatch, SortsByEndpointPair) {
+  auto batch = make_batch<empty_weight>(
+      {ins(2, 0), ins(0, 2), ins(1, 3), ins(0, 1)});
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    const auto& a = batch.updates[i - 1];
+    const auto& b = batch.updates[i];
+    EXPECT_TRUE(a.u < b.u || (a.u == b.u && a.v < b.v));
+  }
+  EXPECT_EQ(batch.max_vertex, 4u);
+}
+
+TEST(UpdateBatch, DropsSelfLoops) {
+  auto batch =
+      make_batch<empty_weight>({ins(0, 0), ins(1, 2), ers(3, 3)});
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.updates[0].u, 1u);
+  EXPECT_EQ(batch.updates[0].v, 2u);
+}
+
+TEST(UpdateBatch, LastUpdatePerEdgeWins) {
+  // insert then erase -> erase; erase then insert -> insert.
+  auto batch = make_batch<empty_weight>(
+      {ins(0, 1), ers(0, 1), ers(2, 3), ins(2, 3)});
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.updates[0].op, update_op::erase);
+  EXPECT_EQ(batch.updates[1].op, update_op::insert);
+  EXPECT_TRUE(batch.has_erases());
+}
+
+TEST(UpdateBatch, LastWeightWins) {
+  using wu = update<std::uint32_t>;
+  std::vector<wu> raw = {{0, 1, 5, update_op::insert},
+                         {0, 1, 9, update_op::insert}};
+  auto batch = make_batch(std::move(raw));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.updates[0].w, 9u);
+}
+
+TEST(UpdateBatch, MirrorAddsBothDirections) {
+  auto batch = make_batch<empty_weight>({ins(0, 1)}, /*mirror=*/true);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.updates[0].u, 0u);
+  EXPECT_EQ(batch.updates[0].v, 1u);
+  EXPECT_EQ(batch.updates[1].u, 1u);
+  EXPECT_EQ(batch.updates[1].v, 0u);
+}
+
+TEST(UpdateBatch, MirrorKeepsStreamOrderSemantics) {
+  // A later erase (in either direction) overrides an earlier insert for
+  // BOTH directions after mirroring.
+  auto batch = make_batch<empty_weight>({ins(0, 1), ers(1, 0)},
+                                        /*mirror=*/true);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.updates[0].op, update_op::erase);
+  EXPECT_EQ(batch.updates[1].op, update_op::erase);
+}
+
+TEST(UpdateBatch, MaxVertexCoversAllEndpoints) {
+  auto batch = make_batch<empty_weight>({ins(3, 1000), ins(2, 7)});
+  EXPECT_EQ(batch.max_vertex, 1001u);
+}
+
+TEST(UpdateBatch, ConvenienceBuildersFromEdgeLists) {
+  std::vector<edge<empty_weight>> edges = {{0, 1, {}}, {1, 2, {}}};
+  auto inserts = gbbs::dynamic::insert_batch(edges);
+  ASSERT_EQ(inserts.size(), 2u);
+  EXPECT_FALSE(inserts.has_erases());
+  auto erases = gbbs::dynamic::erase_batch(edges, /*mirror=*/true);
+  ASSERT_EQ(erases.size(), 4u);
+  EXPECT_TRUE(erases.has_erases());
+}
+
+TEST(UpdateBatch, LargeBatchNormalizesConsistently) {
+  // Many duplicates of few edges; exactly one survivor per pair, the last.
+  std::vector<uw_update> raw;
+  for (int rep = 0; rep < 1000; ++rep) {
+    for (vertex_id u = 0; u < 8; ++u) {
+      for (vertex_id v = 0; v < 8; ++v) {
+        raw.push_back(rep % 2 == 0 ? ins(u, v) : ers(u, v));
+      }
+    }
+  }
+  auto batch = make_batch(std::move(raw));
+  ASSERT_EQ(batch.size(), 8u * 8u - 8u);  // all pairs minus self-loops
+  for (const auto& e : batch.updates) {
+    EXPECT_EQ(e.op, update_op::erase);  // rep 999 was odd
+  }
+}
+
+}  // namespace

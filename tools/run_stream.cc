@@ -1,0 +1,125 @@
+// Replay an edge stream through the batch-dynamic subsystem in
+// configurable batch sizes, maintaining incremental connectivity after
+// every batch.
+//
+// Flags (besides the shared runner.h set):
+//   -batch <b>        updates per batch (default 1 << 14)
+//   -erase-every <k>  after every k-th batch, erase a random sample of
+//                     previously ingested edges (default 0 = insert-only)
+//   -verify           after the stream: check the compacted CSR against a
+//                     from-scratch rebuild (insert-only runs) and the
+//                     incremental connectivity partition against the
+//                     static connectivity() on a snapshot.
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+
+#include "algorithms/connectivity.h"
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_connectivity.h"
+#include "dynamic/stream.h"
+#include "graph/graph_builder.h"
+#include "runner.h"
+
+namespace {
+
+using gbbs::vertex_id;
+using gbbs::empty_weight;
+
+// Partition equality of two labelings (bijective label-pair mapping).
+bool same_partition(const std::vector<vertex_id>& a,
+                    const std::vector<vertex_id>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<vertex_id, vertex_id> a2b, b2a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [ia, _] = a2b.try_emplace(a[v], b[v]);
+    if (ia->second != b[v]) return false;
+    auto [ib, __] = b2a.try_emplace(b[v], a[v]);
+    if (ib->second != a[v]) return false;
+  }
+  return true;
+}
+
+bool same_csr(const gbbs::graph<empty_weight>& a,
+              const gbbs::graph<empty_weight>& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  for (vertex_id v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.out_neighbors(v);
+    auto nb = b.out_neighbors(v);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end()))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  std::size_t batch_size = std::size_t{1} << 14;
+  std::size_t erase_every = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
+      batch_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-erase-every") && i + 1 < argc) {
+      erase_every = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (batch_size == 0) batch_size = 1;
+
+  auto g = tools::load_symmetric(o);
+  const vertex_id n = g.num_vertices();
+  auto stream_edges = gbbs::dynamic::undirected_stream_edges(g);
+  std::printf("stream: n=%u, %zu undirected edges, batch=%zu%s\n", n,
+              stream_edges.size(), batch_size,
+              erase_every ? " (with erases)" : "");
+
+  tools::run_rounds("stream", o, [&]() {
+    gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
+    gbbs::dynamic::dynamic_unweighted_graph dg(n);
+    gbbs::dynamic::incremental_connectivity cc(n);
+    parlib::random rng(o.seed);
+    std::size_t batches = 0, rebuilds = 0, updates = 0;
+    while (!stream.done()) {
+      auto raw = stream.next_inserts(batch_size);
+      updates += raw.size();
+      auto batch = dg.apply(std::move(raw));
+      cc.apply(batch, dg);
+      ++batches;
+      if (erase_every != 0 && batches % erase_every == 0) {
+        auto erases =
+            stream.sample_erases(std::max<std::size_t>(1, batch_size / 4),
+                                 rng);
+        rng = rng.next();
+        if (!erases.empty()) {
+          updates += erases.size();
+          auto ebatch = dg.apply(std::move(erases));
+          cc.apply(ebatch, dg);
+          ++rebuilds;
+        }
+      }
+    }
+    dg.compact();
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%zu batches (%zu rebuilds), %zu raw updates, m=%llu, "
+                  "%zu components",
+                  batches, rebuilds, updates,
+                  static_cast<unsigned long long>(dg.num_edges()),
+                  cc.num_components());
+    if (o.verify) {
+      bool ok = true;
+      if (erase_every == 0) {
+        auto rebuilt = gbbs::build_symmetric_graph<empty_weight>(
+            n, stream_edges);
+        ok = same_csr(dg.base(), rebuilt);
+      }
+      auto snap = dg.snapshot();
+      ok = ok && same_partition(cc.labels(), gbbs::connectivity(snap));
+      tools::report_verification("stream", ok);
+    }
+    return std::string(buf);
+  });
+  return 0;
+}
