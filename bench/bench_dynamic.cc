@@ -25,6 +25,7 @@ struct ingest_result {
   double apply_s = 0;
   double cc_s = 0;
   double compact_s = 0;
+  bench::sample_stats batch_latency;  // per-batch apply+cc latency
 };
 
 ingest_result replay(const std::vector<gbbs::edge<empty_weight>>& edges,
@@ -33,14 +34,19 @@ ingest_result replay(const std::vector<gbbs::edge<empty_weight>>& edges,
   gbbs::dynamic::dynamic_unweighted_graph dg(n);
   gbbs::dynamic::incremental_connectivity cc(n);
   ingest_result r;
+  std::vector<double> batch_s;
   while (!stream.done()) {
     auto raw = stream.next_inserts(batch_size);
     gbbs::dynamic::update_batch<empty_weight> batch;
-    r.apply_s += bench::time_once(
+    const double apply = bench::time_once(
         [&] { batch = dg.apply(std::move(raw)); });
-    r.cc_s += bench::time_once([&] { cc.apply(batch, dg); });
+    const double cc_t = bench::time_once([&] { cc.apply(batch, dg); });
+    r.apply_s += apply;
+    r.cc_s += cc_t;
+    batch_s.push_back(apply + cc_t);
   }
   r.compact_s = bench::time_once([&] { dg.compact(); });
+  r.batch_latency = bench::summarize(std::move(batch_s));
   return r;
 }
 
@@ -56,8 +62,9 @@ int main() {
 
   std::printf("== dynamic ingest (n=%u, %zu streamed edges, workers=%zu) ==\n",
               n, edges.size(), parlib::num_workers());
-  std::printf("%-12s %12s %12s %12s %12s\n", "batch", "ingest Me/s",
-              "ingest+cc", "+compact", "compact(s)");
+  std::printf("%-12s %12s %12s %12s %12s %10s %10s\n", "batch",
+              "ingest Me/s", "ingest+cc", "+compact", "compact(s)",
+              "p50(ms)", "p99(ms)");
   for (std::size_t batch_size :
        {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 16,
         std::size_t{1} << 19}) {
@@ -66,8 +73,9 @@ int main() {
     const double with_cc = medges / (r.apply_s + r.cc_s);
     const double with_compact =
         medges / (r.apply_s + r.cc_s + r.compact_s);
-    std::printf("%-12zu %12.2f %12.2f %12.2f %12.4f\n", batch_size, ingest,
-                with_cc, with_compact, r.compact_s);
+    std::printf("%-12zu %12.2f %12.2f %12.2f %12.4f %10.3f %10.3f\n",
+                batch_size, ingest, with_cc, with_compact, r.compact_s,
+                r.batch_latency.p50 * 1e3, r.batch_latency.p99 * 1e3);
     std::fflush(stdout);
   }
   const double rebuild_s = bench::time_best([&] {

@@ -1,0 +1,107 @@
+// Serving throughput of the snapshot subsystem: query throughput and tail
+// latency as a function of ingest batch size and reader count.
+//
+// For each (batch, readers) configuration the same R-MAT edge stream is
+// ingested by a writer thread (publish + hand-off compaction per batch)
+// while a closed-loop generator keeps `readers` query threads saturated
+// with the standard mixed workload (make_mixed_query). Reported per row:
+// ingest rate (Me/s, wall-clock of the writer), completed queries/s, and
+// p50/p99 query latency in milliseconds.
+#include <atomic>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "dynamic/stream.h"
+#include "serve/query.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_manager.h"
+
+namespace {
+
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+using gbbs::serve::query_result;
+
+struct serve_result {
+  double writer_s = 0;   // wall time of the ingest+publish loop
+  double wall_s = 0;     // wall time of the whole run (ingest + drain)
+  std::size_t queries = 0;
+  bench::sample_stats latency;
+};
+
+serve_result run_config(const std::vector<gbbs::edge<empty_weight>>& edges,
+                        vertex_id n, std::size_t batch_size,
+                        std::size_t readers) {
+  gbbs::serve::snapshot_manager<empty_weight> mgr(n);
+  serve_result res;
+  std::vector<double> latencies;
+  res.wall_s = bench::time_once([&] {
+    gbbs::serve::query_engine<empty_weight> engine(mgr.store(), readers);
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+      res.writer_s = bench::time_once([&] {
+        while (!stream.done()) {
+          mgr.ingest(stream.next_inserts(batch_size));
+          mgr.publish();
+        }
+      });
+      writer_done.store(true, std::memory_order_release);
+    });
+
+    // Closed-loop load generator: windows of in-flight queries, refilled
+    // until the writer finishes, so the readers stay saturated for the
+    // whole ingest phase.
+    const std::size_t window = 64 * readers;
+    parlib::random rng(17);
+    std::size_t qi = 0;
+    std::vector<std::future<query_result>> inflight;
+    inflight.reserve(window);
+    while (!writer_done.load(std::memory_order_acquire)) {
+      inflight.clear();
+      for (std::size_t k = 0; k < window; ++k, ++qi) {
+        inflight.push_back(
+            engine.submit(gbbs::serve::make_mixed_query(rng, qi, n)));
+      }
+      for (auto& f : inflight) latencies.push_back(f.get().latency_s);
+    }
+    writer.join();
+    engine.drain();
+  });
+  res.queries = latencies.size();
+  res.latency = bench::summarize(std::move(latencies));
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint32_t scale = bench::bench_scale() - 4;
+  const std::size_t m = std::size_t{12} << scale;
+  auto g = gbbs::rmat_symmetric(scale, m, 101);
+  auto edges = gbbs::dynamic::undirected_stream_edges(g);
+  const vertex_id n = g.num_vertices();
+  const double medges = static_cast<double>(edges.size()) / 1e6;
+
+  std::printf(
+      "== snapshot serving (n=%u, %zu streamed edges, workers=%zu) ==\n", n,
+      edges.size(), parlib::num_workers());
+  std::printf("%-10s %-8s %12s %12s %10s %10s\n", "batch", "readers",
+              "ingest Me/s", "queries/s", "p50(ms)", "p99(ms)");
+  for (std::size_t batch_size :
+       {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 16}) {
+    for (std::size_t readers : {std::size_t{1}, std::size_t{2},
+                                std::size_t{4}, std::size_t{8}}) {
+      const auto r = run_config(edges, n, batch_size, readers);
+      std::printf("%-10zu %-8zu %12.2f %12.0f %10.3f %10.3f\n", batch_size,
+                  readers, medges / r.writer_s,
+                  static_cast<double>(r.queries) / r.wall_s,
+                  r.latency.p50 * 1e3, r.latency.p99 * 1e3);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/contraction.h"
@@ -67,6 +68,23 @@ inline std::vector<vertex_id> component_representatives(
   });
   return parlib::filter(rep_of_label,
                         [](vertex_id r) { return r != kNoVertex; });
+}
+
+// Whether two component labelings describe the same partition (labels may
+// differ; the mapping between them must be bijective). The cross-check
+// used by the dynamic/serving verification paths to compare maintained
+// labels against a from-scratch connectivity().
+inline bool same_partition(const std::vector<vertex_id>& a,
+                           const std::vector<vertex_id>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<vertex_id, vertex_id> a2b, b2a;
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    auto [ia, fresh_a] = a2b.try_emplace(a[v], b[v]);
+    if (ia->second != b[v]) return false;
+    auto [ib, fresh_b] = b2a.try_emplace(b[v], a[v]);
+    if (ib->second != a[v]) return false;
+  }
+  return true;
 }
 
 }  // namespace gbbs

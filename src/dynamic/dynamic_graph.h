@@ -77,12 +77,20 @@ class dynamic_graph {
   bool symmetric() const { return symmetric_; }
   vertex_id out_degree(vertex_id v) const { return deg_[v]; }
 
-  // Updates absorbed since the last compact() (across all vertices).
-  std::size_t delta_size() const {
-    auto sizes = parlib::tabulate<std::size_t>(
-        n_, [&](std::size_t v) { return delta_[v].size(); });
-    return parlib::reduce_add(sizes);
-  }
+  // Overlay entries alive since the last compact() (across all vertices);
+  // maintained incrementally, O(1).
+  std::size_t delta_size() const { return overlay_entries_; }
+
+  // ---- compaction policy --------------------------------------------------
+
+  // Auto-compact when the overlay exceeds `frac` of the base edge count
+  // (checked after every batch; 0 disables, the default). The floor of 1024
+  // base edges keeps a tiny/empty base from forcing a compact per batch.
+  void set_compact_threshold(double frac) { compact_threshold_ = frac; }
+  double compact_threshold() const { return compact_threshold_; }
+
+  // compact() / adopt_base() calls so far (manual, automatic, or hand-off).
+  std::size_t num_compactions() const { return compactions_; }
 
   // ---- ingest ------------------------------------------------------------
 
@@ -112,17 +120,29 @@ class dynamic_graph {
         });
     auto starts = parlib::pack_index<std::size_t>(is_start);
     std::vector<long long> dm(starts.size());
+    std::vector<long long> ds(starts.size());
     parlib::parallel_for(0, starts.size(), [&](std::size_t r) {
       const std::size_t lo = starts[r];
       const std::size_t hi =
           r + 1 < starts.size() ? starts[r + 1] : ups.size();
       const vertex_id u = ups[lo].u;
-      dm[r] = merge_run(u, &ups[lo], hi - lo);
+      const auto [ddeg, dsize] = merge_run(u, &ups[lo], hi - lo);
+      dm[r] = ddeg;
+      ds[r] = dsize;
       deg_[u] = static_cast<vertex_id>(
-          static_cast<long long>(deg_[u]) + dm[r]);
+          static_cast<long long>(deg_[u]) + ddeg);
     });
     m_ = static_cast<edge_id>(static_cast<long long>(m_) +
                               parlib::reduce_add(dm));
+    overlay_entries_ = static_cast<std::size_t>(
+        static_cast<long long>(overlay_entries_) + parlib::reduce_add(ds));
+    if (compact_threshold_ > 0 &&
+        static_cast<double>(overlay_entries_) >
+            compact_threshold_ *
+                static_cast<double>(
+                    std::max<edge_id>(base_.num_edges(), 1024))) {
+      compact();
+    }
   }
 
   // Extend the vertex set to cover ids < n (new vertices are isolated).
@@ -233,6 +253,20 @@ class dynamic_graph {
   void compact() {
     base_ = snapshot();
     delta_.assign(n_, {});
+    overlay_entries_ = 0;
+    ++compactions_;
+  }
+
+  // Version hand-off for the serve layer: install an externally built CSR
+  // of the *current live view* (e.g. the snapshot just published) as the
+  // new base and clear the overlay — one merged-CSR build then serves as
+  // both the published version and the compacted base.
+  void adopt_base(graph<W> g) {
+    assert(g.num_vertices() == n_ && g.num_edges() == m_);
+    base_ = std::move(g);
+    delta_.assign(n_, {});
+    overlay_entries_ = 0;
+    ++compactions_;
   }
 
   const graph<W>& base() const { return base_; }
@@ -254,8 +288,10 @@ class dynamic_graph {
   }
 
   // Merge a (v-sorted) run of updates for vertex u into delta_[u].
-  // Returns the change in u's live degree.
-  long long merge_run(vertex_id u, const update<W>* run, std::size_t len) {
+  // Returns {change in u's live degree, change in u's overlay size}.
+  std::pair<long long, long long> merge_run(vertex_id u,
+                                            const update<W>* run,
+                                            std::size_t len) {
     const std::vector<delta_entry<W>>& old = delta_[u];
     std::vector<delta_entry<W>> merged;
     merged.reserve(old.size() + len);
@@ -292,8 +328,10 @@ class dynamic_graph {
         ++j;
       }
     }
+    const long long dsize = static_cast<long long>(merged.size()) -
+                            static_cast<long long>(old.size());
     delta_[u] = std::move(merged);
-    return dm;
+    return {dm, dsize};
   }
 
   // Build the merged out-CSR (offsets/nghs/wghs) of the live graph.
@@ -331,6 +369,9 @@ class dynamic_graph {
   graph<W> base_;
   std::vector<std::vector<delta_entry<W>>> delta_;  // sorted by neighbor id
   std::vector<vertex_id> deg_;                      // live out-degrees
+  std::size_t overlay_entries_ = 0;  // sum of |delta_[v]| (O(1) delta_size)
+  std::size_t compactions_ = 0;
+  double compact_threshold_ = 0;  // 0 = never auto-compact
 };
 
 using dynamic_unweighted_graph = dynamic_graph<empty_weight>;

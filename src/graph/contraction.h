@@ -10,6 +10,7 @@
 
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
+#include "parlib/atomics.h"
 #include "parlib/hash_table.h"
 #include "parlib/parallel.h"
 #include "parlib/sequence_ops.h"
@@ -44,9 +45,14 @@ contraction_result contract(const Graph& g,
                             const std::vector<vertex_id>& labels,
                             bool keep_representatives = false) {
   const vertex_id n = g.num_vertices();
-  // Dense-renumber the used cluster labels.
+  // Dense-renumber the used cluster labels. Concurrent marks of the same
+  // cluster go through an atomic store (same-value, but racy otherwise).
   std::vector<std::uint8_t> used(n, 0);
-  parlib::parallel_for(0, n, [&](std::size_t v) { used[labels[v]] = 1; });
+  parlib::parallel_for(0, n, [&](std::size_t v) {
+    if (parlib::atomic_load(&used[labels[v]]) == 0) {
+      parlib::atomic_store(&used[labels[v]], std::uint8_t{1});
+    }
+  });
   auto cluster_ids = parlib::pack_index<vertex_id>(used);
   const vertex_id n_quot = static_cast<vertex_id>(cluster_ids.size());
   std::vector<vertex_id> cluster_to_vertex(n, kNoVertex);

@@ -1,0 +1,136 @@
+// Typed queries over a pinned snapshot — the request vocabulary of the
+// serving layer. Each query executes entirely against one immutable pinned
+// version (graph + connectivity labels), so results are consistent even
+// while the writer keeps ingesting: there is no state shared with the
+// ingest path at all.
+//
+// Point reads (degree / neighbors / connected / component) are O(1) or
+// O(deg); traversals (bfs_distance) and analytics (kcore_max / triangles)
+// reuse the static algorithm suite unmodified — the payoff of publishing
+// real CSRs instead of a mutable structure.
+//
+// Vertices the pinned version has not seen yet (the graph grows under
+// ingest, so a query admitted against an older version may reference a
+// newer vertex) are treated as isolated: degree 0, unreachable, their own
+// singleton component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "algorithms/kcore.h"
+#include "algorithms/triangle.h"
+#include "graph/graph.h"
+#include "parlib/random.h"
+#include "serve/snapshot_store.h"
+
+namespace gbbs::serve {
+
+enum class query_kind : std::uint8_t {
+  degree,        // value = out-degree of u
+  neighbors,     // list = out-neighborhood of u
+  connected,     // value = 1 iff u and v are in the same component
+  component,     // value = connectivity label of u in this version
+  bfs_distance,  // value = hop distance u -> v (kInfDist if unreachable)
+  kcore_max,     // value = degeneracy (max coreness) of the version
+  triangles,     // value = triangle count of the version
+};
+
+inline const char* query_kind_name(query_kind k) {
+  switch (k) {
+    case query_kind::degree: return "degree";
+    case query_kind::neighbors: return "neighbors";
+    case query_kind::connected: return "connected";
+    case query_kind::component: return "component";
+    case query_kind::bfs_distance: return "bfs_distance";
+    case query_kind::kcore_max: return "kcore_max";
+    case query_kind::triangles: return "triangles";
+  }
+  return "?";
+}
+
+struct query {
+  query_kind kind = query_kind::degree;
+  vertex_id u = 0;
+  vertex_id v = 0;  // second endpoint (connected / bfs_distance)
+};
+
+struct query_result {
+  std::uint64_t version = 0;  // snapshot version the query executed against
+  std::uint64_t value = 0;
+  std::vector<vertex_id> list;  // neighbors payload
+  double latency_s = 0;         // filled by the query engine
+};
+
+// The serving-style randomized query mix used by run_serve, bench_serve,
+// and the concurrency tests: point reads dominate (degree 30% / neighbors
+// 30% / connected 20% / component 10%), one in ten queries is a BFS, and
+// `heavy` adds rare whole-graph analytics (kcore/triangles, 0.2%).
+// Deterministic in (rng, i).
+inline query make_mixed_query(const parlib::random& rng, std::size_t i,
+                              vertex_id n, bool heavy = false) {
+  const auto u = static_cast<vertex_id>(rng.ith_rand(3 * i) % n);
+  const auto v = static_cast<vertex_id>(rng.ith_rand(3 * i + 1) % n);
+  const std::uint64_t dice = rng.ith_rand(3 * i + 2) % 1000;
+  if (heavy && dice >= 998) {
+    return {dice == 998 ? query_kind::kcore_max : query_kind::triangles, 0,
+            0};
+  }
+  if (dice < 300) return {query_kind::degree, u, 0};
+  if (dice < 600) return {query_kind::neighbors, u, 0};
+  if (dice < 800) return {query_kind::connected, u, v};
+  if (dice < 900) return {query_kind::component, u, 0};
+  return {query_kind::bfs_distance, u, v};
+}
+
+// Execute q against one pinned version. Pure read; safe to call from any
+// number of threads on the same pinned_snapshot.
+template <typename W>
+query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
+  const gbbs::graph<W>& g = snap.view();
+  const vertex_id n = g.num_vertices();
+  query_result r;
+  r.version = snap.version();
+  switch (q.kind) {
+    case query_kind::degree:
+      r.value = q.u < n ? g.out_degree(q.u) : 0;
+      break;
+    case query_kind::neighbors:
+      if (q.u < n) {
+        const auto nghs = g.out_neighbors(q.u);
+        r.list.assign(nghs.begin(), nghs.end());
+      }
+      break;
+    case query_kind::connected: {
+      const auto& comp = snap.components();
+      if (q.u < comp.size() && q.v < comp.size()) {
+        r.value = comp[q.u] == comp[q.v] ? 1 : 0;
+      } else {
+        r.value = q.u == q.v ? 1 : 0;  // unseen vertices are singletons
+      }
+      break;
+    }
+    case query_kind::component: {
+      const auto& comp = snap.components();
+      r.value = q.u < comp.size() ? comp[q.u] : q.u;
+      break;
+    }
+    case query_kind::bfs_distance:
+      if (q.u < n && q.v < n) {
+        r.value = gbbs::bfs(g, q.u)[q.v];
+      } else {
+        r.value = q.u == q.v ? 0 : gbbs::kInfDist;
+      }
+      break;
+    case query_kind::kcore_max:
+      r.value = gbbs::kcore(g).max_core;
+      break;
+    case query_kind::triangles:
+      r.value = gbbs::triangle_count(g);
+      break;
+  }
+  return r;
+}
+
+}  // namespace gbbs::serve

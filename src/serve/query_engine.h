@@ -1,0 +1,153 @@
+// Reader pool: N threads draining a queue of typed queries, each query
+// executing against the snapshot version current at admission (the worker
+// pins the store's latest version right before executing, holds the pin for
+// exactly the query's duration, and records the version in the result).
+//
+// The pool runs concurrently with the single writer publishing into the
+// same snapshot_store — admission control is the lock-free pin, so readers
+// never block ingest and ingest never blocks readers; the submission queue
+// itself is a plain mutex + condvar (contended only at enqueue/dequeue, not
+// during execution).
+//
+// Queries that internally use parallel algorithms (bfs/kcore/triangles) run
+// on the shared parlib work-stealing scheduler; reader threads are not
+// scheduler workers, but par_do from foreign threads is safe (jobs enqueue
+// on deque 0, pop_if validates identity) — concurrent queries simply share
+// the worker pool.
+//
+// Lifetime: the engine must be destroyed (or stop()ed) before the
+// snapshot_store it reads from. The destructor finishes all queued queries
+// first, so every future obtained from submit() becomes ready.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/query.h"
+#include "serve/snapshot_store.h"
+
+namespace gbbs::serve {
+
+template <typename W>
+class query_engine {
+ public:
+  explicit query_engine(const snapshot_store<W>& store,
+                        std::size_t num_readers = 4)
+      : store_(store) {
+    if (num_readers == 0) num_readers = 1;
+    readers_.reserve(num_readers);
+    for (std::size_t i = 0; i < num_readers; ++i) {
+      readers_.emplace_back([this] { reader_loop(); });
+    }
+  }
+
+  query_engine(const query_engine&) = delete;
+  query_engine& operator=(const query_engine&) = delete;
+
+  ~query_engine() { stop(); }
+
+  // Enqueue a query; the future resolves once a reader has executed it.
+  // Thread-safe. Latency is measured submit -> completion (queue wait
+  // included), the client-observed number. A submit that races with (or
+  // follows) stop() is rejected: its future resolves immediately with a
+  // default result (version 0), never left unready.
+  std::future<query_result> submit(query q) {
+    item it;
+    it.q = q;
+    it.submitted = std::chrono::steady_clock::now();
+    std::future<query_result> fut = it.promise.get_future();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (stopping_) {
+        it.promise.set_value(query_result{});
+        return fut;
+      }
+      queue_.push_back(std::move(it));
+      ++submitted_;
+    }
+    work_cv_.notify_one();
+    return fut;
+  }
+
+  // Block until every submitted query has completed.
+  void drain() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    idle_cv_.wait(lk, [this] { return completed_ == submitted_; });
+  }
+
+  // Finish all queued queries, then join the readers. Idempotent.
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : readers_) t.join();
+    readers_.clear();
+  }
+
+  std::size_t num_readers() const { return readers_.size(); }
+
+  std::uint64_t completed() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return completed_;
+  }
+
+ private:
+  struct item {
+    query q;
+    std::chrono::steady_clock::time_point submitted;
+    std::promise<query_result> promise;
+  };
+
+  void reader_loop() {
+    for (;;) {
+      item it;
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        work_cv_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+        if (queue_.empty()) return;  // stopping and drained
+        it = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      // Admission: pin the version current right now; the query sees this
+      // version regardless of how far ingest advances while it runs.
+      query_result r;
+      if (pinned_snapshot<W> snap = store_.pin()) {
+        r = execute_query(snap, it.q);
+      }
+      r.latency_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - it.submitted)
+                        .count();
+      it.promise.set_value(std::move(r));
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        ++completed_;
+        idle = completed_ == submitted_;
+      }
+      if (idle) idle_cv_.notify_all();
+    }
+  }
+
+  const snapshot_store<W>& store_;
+  std::vector<std::thread> readers_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<item> queue_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace gbbs::serve

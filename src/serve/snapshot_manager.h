@@ -1,0 +1,112 @@
+// Single-writer ingest front-end for the serving layer: owns the
+// batch-dynamic graph, maintains incremental connectivity across batches,
+// and publishes immutable versions into a snapshot_store that any number of
+// reader threads pin concurrently (see snapshot_store.h for the pinning
+// protocol).
+//
+// Division of labor:
+//   writer thread:  ingest(raw updates) ... publish() ... ingest ...
+//   reader threads: pin() -> run queries against the pinned version.
+//
+// publish() builds the merged CSR of the live view *once* and uses it
+// twice: it becomes the published version and (via
+// dynamic_graph::adopt_base) the dynamic graph's new compacted base, so a
+// publish-per-batch serving loop compacts as a side effect of publishing —
+// one merge build plus a flat O(n+m) array copy, instead of two merge
+// builds (sharing the arrays outright would need refcounted CSRs inside
+// dynamic_graph; see ROADMAP). Between publishes the dynamic graph's own
+// auto-compaction threshold bounds overlay growth.
+//
+// Connectivity labels ride along with every version: the writer maintains
+// them incrementally (O(batch * alpha(n)) for insert-only batches), so
+// reader-side connectivity queries are O(1) label lookups instead of an
+// O(m) traversal per query.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "dynamic/incremental_connectivity.h"
+#include "dynamic/update_batch.h"
+#include "serve/snapshot_store.h"
+
+namespace gbbs::serve {
+
+template <typename W>
+class snapshot_manager {
+ public:
+  // Empty symmetric graph with n vertices; version 1 (the empty graph) is
+  // published immediately so readers can always pin.
+  explicit snapshot_manager(vertex_id n = 0, double compact_threshold = 0.25)
+      : dg_(n, /*symmetric=*/true), cc_(n) {
+    dg_.set_compact_threshold(compact_threshold);
+    publish();
+  }
+
+  // Seed from an existing static snapshot (published as version 1).
+  explicit snapshot_manager(gbbs::graph<W> seed,
+                            double compact_threshold = 0.25)
+      : dg_(std::move(seed)), cc_(0) {
+    dg_.set_compact_threshold(compact_threshold);
+    cc_.rebuild(dg_);
+    publish();
+  }
+
+  // ---- writer side (single thread) ---------------------------------------
+
+  // Absorb a raw update batch and keep connectivity current. Invisible to
+  // readers until the next publish().
+  void ingest(std::vector<dynamic::update<W>> raw) {
+    updates_ingested_ += raw.size();
+    auto batch = dg_.apply(std::move(raw));
+    cc_.apply(batch, dg_);
+  }
+
+  // Publish the live view as a new immutable version. Returns its number.
+  // Publishing with nothing ingested since the previous publish is a no-op
+  // returning the current version (no CSR copy, no version churn).
+  std::uint64_t publish() {
+    if (store_.current_version() != 0 &&
+        last_published_updates_ == updates_ingested_) {
+      return store_.current_version();
+    }
+    last_published_updates_ = updates_ingested_;
+    gbbs::graph<W> snap;
+    if (dg_.delta_size() == 0 &&
+        dg_.base().num_vertices() == dg_.num_vertices()) {
+      // Overlay empty: the base CSR already is the live view; flat copy.
+      snap = dg_.base();
+    } else {
+      // Version hand-off: one merge build; the flat copy becomes the new
+      // base while the original goes to the store.
+      snap = dg_.snapshot();
+      dg_.adopt_base(snap);
+    }
+    return store_.publish(std::move(snap), cc_.labels(), updates_ingested_);
+  }
+
+  std::uint64_t updates_ingested() const { return updates_ingested_; }
+  std::size_t num_compactions() const { return dg_.num_compactions(); }
+  const dynamic::dynamic_graph<W>& live() const { return dg_; }
+  dynamic::incremental_connectivity& connectivity() { return cc_; }
+
+  // ---- reader side (any thread) ------------------------------------------
+
+  pinned_snapshot<W> pin() const { return store_.pin(); }
+  std::uint64_t current_version() const { return store_.current_version(); }
+  const snapshot_store<W>& store() const { return store_; }
+  snapshot_store<W>& store() { return store_; }
+
+ private:
+  dynamic::dynamic_graph<W> dg_;
+  dynamic::incremental_connectivity cc_;
+  snapshot_store<W> store_;
+  std::uint64_t updates_ingested_ = 0;
+  std::uint64_t last_published_updates_ = 0;
+};
+
+using unweighted_snapshot_manager = snapshot_manager<empty_weight>;
+
+}  // namespace gbbs::serve

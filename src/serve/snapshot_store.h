@@ -1,0 +1,259 @@
+// Versioned snapshot store: the publication point between the single-writer
+// ingest path and a pool of concurrent readers (toward the ROADMAP's
+// serve-heavy-traffic north star).
+//
+// Model. The writer publishes immutable versions — a static CSR plus the
+// connectivity labels current at publish time — and readers *pin* the
+// latest version without taking any lock. A pinned version stays alive (its
+// CSR is never mutated, moved, or freed) until the last pin drops; versions
+// nobody pins are reclaimed by the writer on the next publish()/collect().
+//
+// Pinning protocol (hazard-bridged refcounts). Each version carries a pin
+// refcount, but a bare refcount is not enough: between loading the head
+// pointer and incrementing its count the writer could retire *and free* the
+// version. A small fixed table of hazard slots bridges that window, the
+// classic hazard-pointer handshake (Michael 2004):
+//
+//   reader                                writer (publish/collect)
+//   ------                                ------------------------
+//   p = head.load(acquire)                head.store(new, release)
+//   slot.store(p, release)                retire old head
+//   fence(seq_cst)                        fence(seq_cst)
+//   if (head.load(acquire) != p) retry    scan slots + pin counts;
+//   p->pins.fetch_add(1)                  free retired versions that are
+//   slot.store(nullptr, release)            unhazarded and unpinned
+//
+// The seq_cst fences totally order the two sides: either the reader's
+// re-validation sees the new head (and retries), or the writer's scan sees
+// the reader's hazard (and keeps the version). Once the pin count is
+// incremented the hazard slot is released — long-running queries hold only
+// the refcount, so the slot table stays small no matter how long queries
+// run. Readers never allocate, lock, or spin on the fast path; a reader
+// stalled mid-handshake delays reclamation of at most one version and never
+// blocks the writer from publishing.
+//
+// Contract: publish()/collect()/live_versions() are writer-only (one thread
+// at a time); pin() is safe from any number of concurrent threads.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gbbs::serve {
+
+// One published version: an immutable CSR of the live graph at publish
+// time, the connectivity labels the writer maintained incrementally, and
+// the number of raw stream updates absorbed when it was published (which
+// lets tests and traces map a version back to a stream prefix).
+template <typename W>
+struct graph_version {
+  std::uint64_t version = 0;
+  gbbs::graph<W> g;
+  std::vector<vertex_id> components;
+  std::uint64_t updates_ingested = 0;
+
+  mutable std::atomic<std::uint64_t> pins{0};
+  graph_version* next_retired = nullptr;  // writer-owned retire list
+};
+
+template <typename W>
+class snapshot_store;
+
+// RAII pin on one version: the version outlives every pinned_snapshot
+// referring to it. Movable, not copyable.
+template <typename W>
+class pinned_snapshot {
+ public:
+  pinned_snapshot() = default;
+  pinned_snapshot(pinned_snapshot&& other) noexcept
+      : node_(std::exchange(other.node_, nullptr)) {}
+  pinned_snapshot& operator=(pinned_snapshot&& other) noexcept {
+    if (this != &other) {
+      release();
+      node_ = std::exchange(other.node_, nullptr);
+    }
+    return *this;
+  }
+  pinned_snapshot(const pinned_snapshot&) = delete;
+  pinned_snapshot& operator=(const pinned_snapshot&) = delete;
+  ~pinned_snapshot() { release(); }
+
+  explicit operator bool() const { return node_ != nullptr; }
+  std::uint64_t version() const { return node_->version; }
+  const gbbs::graph<W>& view() const { return node_->g; }
+  const std::vector<vertex_id>& components() const {
+    return node_->components;
+  }
+  std::uint64_t updates_ingested() const { return node_->updates_ingested; }
+
+  void release() {
+    if (node_ != nullptr) {
+      node_->pins.fetch_sub(1, std::memory_order_release);
+      node_ = nullptr;
+    }
+  }
+
+ private:
+  friend class snapshot_store<W>;
+  explicit pinned_snapshot(const graph_version<W>* node) : node_(node) {}
+
+  const graph_version<W>* node_ = nullptr;
+};
+
+template <typename W>
+class snapshot_store {
+ public:
+  snapshot_store() = default;
+  snapshot_store(const snapshot_store&) = delete;
+  snapshot_store& operator=(const snapshot_store&) = delete;
+
+  ~snapshot_store() {
+    graph_version<W>* r = retired_;
+    while (r != nullptr) {
+      graph_version<W>* next = r->next_retired;
+      assert(r->pins.load() == 0);
+      delete r;
+      r = next;
+    }
+    if (graph_version<W>* h = head_.load(std::memory_order_relaxed)) {
+      assert(h->pins.load() == 0);
+      delete h;
+    }
+  }
+
+  // ---- reader side -------------------------------------------------------
+
+  // Pin the latest published version; null if nothing is published yet.
+  // Lock-free: a bounded scan for a hazard slot plus the handshake above.
+  pinned_snapshot<W> pin() const {
+    hazard_slot& slot = acquire_slot();
+    const graph_version<W>* p;
+    for (;;) {
+      p = head_.load(std::memory_order_acquire);
+      if (p == nullptr) {
+        release_slot(slot);
+        return pinned_snapshot<W>{};
+      }
+      slot.ptr.store(p, std::memory_order_release);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (head_.load(std::memory_order_acquire) == p) break;
+      slot.ptr.store(nullptr, std::memory_order_release);
+    }
+    // The hazard keeps p alive across the increment; after it, the pin does.
+    p->pins.fetch_add(1, std::memory_order_acq_rel);
+    slot.ptr.store(nullptr, std::memory_order_release);
+    release_slot(slot);
+    return pinned_snapshot<W>{p};
+  }
+
+  std::uint64_t current_version() const {
+    const graph_version<W>* p = head_.load(std::memory_order_acquire);
+    return p == nullptr ? 0 : p->version;
+  }
+
+  // ---- writer side (single thread) ---------------------------------------
+
+  // Publish a new version; the previous head is retired and reclaimed once
+  // its last pin drops. Returns the new version number (1-based).
+  std::uint64_t publish(gbbs::graph<W> g, std::vector<vertex_id> components,
+                        std::uint64_t updates_ingested = 0) {
+    auto* node = new graph_version<W>();
+    node->version = ++last_version_;
+    node->g = std::move(g);
+    node->components = std::move(components);
+    node->updates_ingested = updates_ingested;
+    graph_version<W>* old = head_.load(std::memory_order_relaxed);
+    head_.store(node, std::memory_order_release);
+    if (old != nullptr) {
+      old->next_retired = retired_;
+      retired_ = old;
+    }
+    collect();
+    return node->version;
+  }
+
+  // Free retired versions that are neither pinned nor mid-handshake.
+  void collect() {
+    if (retired_ == nullptr) return;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const void* hazards[kHazardSlots];
+    for (std::size_t i = 0; i < kHazardSlots; ++i) {
+      hazards[i] = slots_[i].ptr.load(std::memory_order_acquire);
+    }
+    graph_version<W>** link = &retired_;
+    while (*link != nullptr) {
+      graph_version<W>* node = *link;
+      bool hazarded = false;
+      for (std::size_t i = 0; i < kHazardSlots; ++i) {
+        if (hazards[i] == node) {
+          hazarded = true;
+          break;
+        }
+      }
+      if (!hazarded && node->pins.load(std::memory_order_acquire) == 0) {
+        *link = node->next_retired;
+        delete node;
+      } else {
+        link = &node->next_retired;
+      }
+    }
+  }
+
+  // Published versions still resident (head + retained retired ones).
+  std::size_t live_versions() const {
+    std::size_t count = head_.load(std::memory_order_relaxed) ? 1 : 0;
+    for (const graph_version<W>* r = retired_; r != nullptr;
+         r = r->next_retired) {
+      ++count;
+    }
+    return count;
+  }
+
+ private:
+  static constexpr std::size_t kHazardSlots = 64;
+
+  struct alignas(64) hazard_slot {
+    std::atomic<const void*> ptr{nullptr};
+    std::atomic<bool> in_use{false};
+  };
+
+  hazard_slot& acquire_slot() const {
+    // Start the scan at a per-thread offset so concurrent readers claim
+    // different slots instead of all CAS-contending on slot 0's cacheline.
+    static thread_local const std::size_t start =
+        std::hash<std::thread::id>{}(std::this_thread::get_id());
+    static_assert((kHazardSlots & (kHazardSlots - 1)) == 0);
+    for (;;) {
+      for (std::size_t k = 0; k < kHazardSlots; ++k) {
+        hazard_slot& s = slots_[(start + k) & (kHazardSlots - 1)];
+        bool expected = false;
+        if (s.in_use.compare_exchange_strong(expected, true,
+                                             std::memory_order_acquire,
+                                             std::memory_order_relaxed)) {
+          return s;
+        }
+      }
+      // > kHazardSlots threads mid-handshake at once; the window is a few
+      // instructions, so yielding once is plenty.
+      std::this_thread::yield();
+    }
+  }
+
+  void release_slot(hazard_slot& slot) const {
+    slot.in_use.store(false, std::memory_order_release);
+  }
+
+  std::atomic<graph_version<W>*> head_{nullptr};
+  graph_version<W>* retired_ = nullptr;  // writer-owned
+  std::uint64_t last_version_ = 0;       // writer-owned
+  mutable hazard_slot slots_[kHazardSlots];
+};
+
+}  // namespace gbbs::serve

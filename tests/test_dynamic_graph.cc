@@ -271,6 +271,47 @@ TEST(DynamicGraph, WeightedStreamRoundTrips) {
                   gbbs::build_symmetric_graph<std::uint32_t>(n, edges));
 }
 
+TEST(DynamicGraph, AutoCompactionKeepsOverlayBounded) {
+  auto edges = gbbs::rmat_edges(9, 6000, 11);
+  const vertex_id n = vertex_id{1} << 9;
+  dynamic_graph<empty_weight> dg(n);
+  dg.set_compact_threshold(0.5);
+  EXPECT_EQ(dg.compact_threshold(), 0.5);
+  gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+  std::size_t max_overlay = 0;
+  while (!stream.done()) {
+    dg.apply(stream.next_inserts(512));
+    max_overlay = std::max(max_overlay, dg.delta_size());
+  }
+  EXPECT_GT(dg.num_compactions(), 0u) << "threshold never triggered";
+  // Between checks the overlay can hold at most one batch past the
+  // trigger: threshold * max(base m, 1024) + mirrored batch.
+  EXPECT_LE(max_overlay,
+            static_cast<std::size_t>(
+                0.5 * std::max<std::size_t>(dg.num_edges(), 1024)) +
+                2 * 512);
+  // Auto-compaction must not change the final graph.
+  dg.compact();
+  expect_same_csr(dg.base(),
+                  gbbs::build_symmetric_graph<empty_weight>(n, edges));
+}
+
+TEST(DynamicGraph, AdoptBaseActsAsCompaction) {
+  auto edges = gbbs::rmat_edges(8, 2000, 3);
+  const vertex_id n = vertex_id{1} << 8;
+  dynamic_graph<empty_weight> dg(n);
+  dg.apply_batch(gbbs::dynamic::insert_batch(edges, /*mirror=*/true));
+  EXPECT_GT(dg.delta_size(), 0u);
+  auto snap = dg.snapshot();
+  dg.adopt_base(snap);  // hand-off: the snapshot becomes the new base
+  EXPECT_EQ(dg.delta_size(), 0u);
+  EXPECT_EQ(dg.num_compactions(), 1u);
+  expect_same_csr(dg.base(), snap);
+  // Further updates keep working on the adopted base.
+  dg.apply({ins(0, 7)});
+  EXPECT_TRUE(dg.contains_edge(0, 7));
+}
+
 TEST(DynamicGraph, CompactIsIdempotentAndClearsDeltas) {
   auto edges = gbbs::rmat_edges(8, 1500, 29);
   dynamic_graph<empty_weight> dg(vertex_id{1} << 8);

@@ -1,0 +1,401 @@
+// Tests for the concurrent snapshot-serving subsystem (src/serve):
+//   * snapshot_store pin/publish lifecycle and memory reclamation — a
+//     pinned version survives arbitrarily many publish/compact cycles
+//     unchanged and is freed only after its last pin drops;
+//   * typed query dispatch against a pinned version;
+//   * the acceptance check: with ingest and >= 4 reader threads running
+//     simultaneously, every query result equals the result of the same
+//     static algorithm on the snapshot version it was admitted against.
+#include <cstdint>
+#include <future>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.h"
+#include "algorithms/connectivity.h"
+#include "algorithms/kcore.h"
+#include "algorithms/triangle.h"
+#include "dynamic/stream.h"
+#include "graph/generators.h"
+#include "graph/graph_builder.h"
+#include "parlib/random.h"
+#include "serve/query.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_manager.h"
+#include "serve/snapshot_store.h"
+
+namespace {
+
+using gbbs::edge;
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+using gbbs::serve::pinned_snapshot;
+using gbbs::serve::query;
+using gbbs::serve::query_engine;
+using gbbs::serve::query_kind;
+using gbbs::serve::query_result;
+using gbbs::serve::snapshot_manager;
+using gbbs::serve::snapshot_store;
+
+using uw_edge = edge<empty_weight>;
+using uw_update = gbbs::dynamic::update<empty_weight>;
+
+std::vector<uw_update> inserts(const std::vector<uw_edge>& edges) {
+  std::vector<uw_update> ups;
+  ups.reserve(edges.size());
+  for (const auto& e : edges) {
+    ups.push_back({e.u, e.v, {}, gbbs::dynamic::update_op::insert});
+  }
+  return ups;
+}
+
+template <typename G1, typename G2>
+void expect_same_csr(const G1& a, const G2& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (vertex_id v = 0; v < a.num_vertices(); ++v) {
+    auto na = a.out_neighbors(v);
+    auto nb = b.out_neighbors(v);
+    ASSERT_EQ(na.size(), nb.size()) << "degree of " << v;
+    for (std::size_t j = 0; j < na.size(); ++j) {
+      ASSERT_EQ(na[j], nb[j]) << "neighbor " << j << " of " << v;
+    }
+  }
+}
+
+// ---- snapshot_store lifecycle ---------------------------------------------
+
+TEST(SnapshotStore, EmptyStorePinIsNull) {
+  snapshot_store<empty_weight> store;
+  auto snap = store.pin();
+  EXPECT_FALSE(snap);
+  EXPECT_EQ(store.current_version(), 0u);
+  EXPECT_EQ(store.live_versions(), 0u);
+}
+
+TEST(SnapshotStore, PinSeesLatestPublished) {
+  snapshot_store<empty_weight> store;
+  auto g1 = gbbs::build_symmetric_graph<empty_weight>(
+      4, std::vector<uw_edge>{{0, 1, {}}});
+  auto g2 = gbbs::build_symmetric_graph<empty_weight>(
+      4, std::vector<uw_edge>{{0, 1, {}}, {1, 2, {}}});
+  EXPECT_EQ(store.publish(g1, {0, 0, 2, 3}), 1u);
+  EXPECT_EQ(store.publish(g2, {0, 0, 0, 3}), 2u);
+  auto snap = store.pin();
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap.version(), 2u);
+  EXPECT_EQ(snap.view().num_edges(), 4u);
+  EXPECT_EQ(snap.components()[2], 0u);
+  // v1 had no pins, so publishing v2 reclaimed it.
+  EXPECT_EQ(store.live_versions(), 1u);
+}
+
+TEST(SnapshotStore, MemoryReleasedOnlyAfterLastPinDrops) {
+  snapshot_store<empty_weight> store;
+  auto g = gbbs::build_symmetric_graph<empty_weight>(
+      3, std::vector<uw_edge>{{0, 1, {}}});
+  store.publish(g, {0, 0, 2});
+  auto pin_a = store.pin();
+  auto pin_b = store.pin();  // two pins on version 1
+  store.publish(g, {0, 0, 2});
+  store.publish(g, {0, 0, 2});
+  // v1 is retained (pinned); v2 was reclaimed when v3 was published.
+  EXPECT_EQ(store.live_versions(), 2u);
+  EXPECT_EQ(pin_a.version(), 1u);
+  pin_a.release();
+  store.collect();
+  EXPECT_EQ(store.live_versions(), 2u) << "second pin must keep v1 alive";
+  pin_b.release();
+  store.collect();
+  EXPECT_EQ(store.live_versions(), 1u) << "last pin dropped: v1 reclaimed";
+}
+
+// The satellite coverage: a pinned snapshot survives subsequent
+// compact()/publish cycles unchanged and queries against it stay valid.
+TEST(SnapshotManager, PinnedSnapshotSurvivesCompactAndPublishCycles) {
+  const vertex_id n = 64;
+  std::vector<uw_edge> prefix;
+  for (vertex_id v = 0; v + 1 < 32; ++v) prefix.push_back({v, v + 1, {}});
+
+  snapshot_manager<empty_weight> mgr(n, /*compact_threshold=*/0.25);
+  mgr.ingest(inserts(prefix));
+  mgr.publish();
+  auto pinned = mgr.pin();
+  ASSERT_TRUE(pinned);
+  auto reference = gbbs::build_symmetric_graph<empty_weight>(n, prefix);
+  expect_same_csr(pinned.view(), reference);
+  const auto dist_before = gbbs::bfs(pinned.view(), 0);
+
+  // Grind the writer: more batches, publishes, and hand-off compactions.
+  parlib::random rng(7);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<uw_edge> extra;
+    for (int i = 0; i < 40; ++i) {
+      extra.push_back({static_cast<vertex_id>(rng.ith_rand(2 * i) % n),
+                       static_cast<vertex_id>(rng.ith_rand(2 * i + 1) % n),
+                       {}});
+    }
+    rng = rng.next();
+    mgr.ingest(inserts(extra));
+    mgr.publish();
+  }
+  EXPECT_GT(mgr.num_compactions(), 0u);
+
+  // The pinned version is bit-for-bit what it was, and queries still work.
+  expect_same_csr(pinned.view(), reference);
+  EXPECT_EQ(gbbs::bfs(pinned.view(), 0), dist_before);
+  query q{query_kind::bfs_distance, 0, 31};
+  EXPECT_EQ(execute_query(pinned, q).value, 31u);
+
+  const std::size_t live_while_pinned = mgr.store().live_versions();
+  EXPECT_GE(live_while_pinned, 2u);  // the old pinned version + the head
+  pinned.release();
+  mgr.store().collect();
+  EXPECT_LT(mgr.store().live_versions(), live_while_pinned);
+  EXPECT_EQ(mgr.store().live_versions(), 1u);
+}
+
+// ---- query dispatch -------------------------------------------------------
+
+TEST(Query, DispatchAllKinds) {
+  // Triangle 0-1-2 plus a pendant 3; vertex 4 isolated.
+  std::vector<uw_edge> edges{{0, 1, {}}, {1, 2, {}}, {0, 2, {}}, {2, 3, {}}};
+  snapshot_manager<empty_weight> mgr(5);
+  mgr.ingest(inserts(edges));
+  mgr.publish();
+  auto snap = mgr.pin();
+  ASSERT_TRUE(snap);
+
+  EXPECT_EQ(execute_query(snap, {query_kind::degree, 2, 0}).value, 3u);
+  auto nb = execute_query(snap, {query_kind::neighbors, 0, 0});
+  EXPECT_EQ(nb.list, (std::vector<vertex_id>{1, 2}));
+  EXPECT_EQ(execute_query(snap, {query_kind::connected, 0, 3}).value, 1u);
+  EXPECT_EQ(execute_query(snap, {query_kind::connected, 0, 4}).value, 0u);
+  EXPECT_EQ(execute_query(snap, {query_kind::component, 0, 0}).value,
+            execute_query(snap, {query_kind::component, 3, 0}).value);
+  EXPECT_EQ(execute_query(snap, {query_kind::bfs_distance, 0, 3}).value, 2u);
+  EXPECT_EQ(execute_query(snap, {query_kind::bfs_distance, 0, 4}).value,
+            gbbs::kInfDist);
+  EXPECT_EQ(execute_query(snap, {query_kind::kcore_max, 0, 0}).value, 2u);
+  EXPECT_EQ(execute_query(snap, {query_kind::triangles, 0, 0}).value, 1u);
+
+  // Vertices beyond the snapshot are isolated singletons.
+  EXPECT_EQ(execute_query(snap, {query_kind::degree, 100, 0}).value, 0u);
+  EXPECT_EQ(execute_query(snap, {query_kind::connected, 100, 100}).value, 1u);
+  EXPECT_EQ(execute_query(snap, {query_kind::connected, 100, 0}).value, 0u);
+  EXPECT_EQ(execute_query(snap, {query_kind::bfs_distance, 0, 100}).value,
+            gbbs::kInfDist);
+  EXPECT_EQ(execute_query(snap, {query_kind::component, 100, 0}).value, 100u);
+}
+
+TEST(QueryEngine, ServesSubmittedQueries) {
+  std::vector<uw_edge> edges{{0, 1, {}}, {1, 2, {}}, {3, 4, {}}};
+  snapshot_manager<empty_weight> mgr(5);
+  mgr.ingest(inserts(edges));
+  mgr.publish();
+  query_engine<empty_weight> engine(mgr.store(), 2);
+
+  auto f1 = engine.submit({query_kind::degree, 1, 0});
+  auto f2 = engine.submit({query_kind::connected, 0, 2});
+  auto f3 = engine.submit({query_kind::bfs_distance, 0, 2});
+  auto r1 = f1.get();
+  EXPECT_EQ(r1.value, 2u);
+  EXPECT_EQ(r1.version, mgr.current_version());
+  EXPECT_GE(r1.latency_s, 0.0);
+  EXPECT_EQ(f2.get().value, 1u);
+  EXPECT_EQ(f3.get().value, 2u);
+  engine.drain();
+  EXPECT_EQ(engine.completed(), 3u);
+}
+
+TEST(QueryEngine, SubmitAfterStopResolvesImmediately) {
+  snapshot_manager<empty_weight> mgr(4);
+  query_engine<empty_weight> engine(mgr.store(), 2);
+  engine.stop();
+  auto f = engine.submit({query_kind::degree, 0, 0});
+  EXPECT_EQ(f.get().version, 0u);  // rejected: default result, never stuck
+}
+
+// ---- the acceptance test: consistency under concurrency -------------------
+//
+// A writer thread ingests an R-MAT stream batch by batch, publishing (and
+// hand-off compacting) after every batch, while a 4-reader query engine
+// executes a mixed query workload and two extra checker threads pin
+// versions directly and audit their internal consistency. The writer
+// retains one pin per published version, so after the run every engine
+// result can be re-checked against the exact immutable version it was
+// admitted to — any torn read, use-after-free, or overlay leak into a
+// published CSR makes these comparisons fail (and TSan flag the race).
+
+TEST(Serve, ConsistencyUnderConcurrentIngest) {
+  const std::uint32_t scale = 10;
+  const vertex_id n = vertex_id{1} << scale;
+  auto full = gbbs::rmat_symmetric(scale, std::size_t{8} << scale, 42);
+  auto stream_edges = gbbs::dynamic::undirected_stream_edges(full);
+  const std::size_t batch_size = (stream_edges.size() + 15) / 16;
+
+  snapshot_manager<empty_weight> mgr(n, /*compact_threshold=*/0.25);
+  std::vector<pinned_snapshot<empty_weight>> retained;
+  retained.push_back(mgr.pin());  // version 1: the empty graph
+  // Undirected prefix length at each publish, indexed like `retained`.
+  std::vector<std::size_t> prefix_at;
+  prefix_at.push_back(0);
+
+  {
+    query_engine<empty_weight> engine(mgr.store(), 4);
+    std::vector<std::pair<query, std::future<query_result>>> pending;
+
+    // Checker threads: pin directly, concurrently with ingest, and audit
+    // the pinned version's invariants (degree sum, partition vs. the
+    // static connectivity of the same pinned CSR, version monotonicity).
+    std::atomic<bool> ingest_done{false};
+    auto checker = [&] {
+      std::uint64_t last_version = 0;
+      do {
+        auto snap = mgr.pin();
+        ASSERT_TRUE(snap);
+        EXPECT_GE(snap.version(), last_version);
+        last_version = snap.version();
+        const auto& g = snap.view();
+        std::uint64_t degree_sum = 0;
+        for (vertex_id v = 0; v < g.num_vertices(); ++v) {
+          degree_sum += g.out_degree(v);
+        }
+        EXPECT_EQ(degree_sum, g.num_edges()) << "torn CSR in version "
+                                             << snap.version();
+        EXPECT_TRUE(
+            gbbs::same_partition(snap.components(), gbbs::connectivity(g)))
+            << "stale/torn components in version " << snap.version();
+      } while (!ingest_done.load(std::memory_order_acquire));
+    };
+    std::thread check_a(checker), check_b(checker);
+
+    // Writer: ingest + publish per batch; submit a query burst after each
+    // publish so readers execute against a moving version frontier.
+    gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
+    parlib::random rng(123);
+    std::size_t qi = 0;
+    while (!stream.done()) {
+      mgr.ingest(stream.next_inserts(batch_size));
+      mgr.publish();
+      retained.push_back(mgr.pin());
+      prefix_at.push_back(stream.delivered());
+      for (int k = 0; k < 24; ++k, ++qi) {
+        const auto u = static_cast<vertex_id>(rng.ith_rand(3 * qi) % n);
+        const auto v =
+            static_cast<vertex_id>(rng.ith_rand(3 * qi + 1) % n);
+        const std::uint64_t dice = rng.ith_rand(3 * qi + 2) % 100;
+        query q;
+        if (dice < 35) {
+          q = {query_kind::degree, u, 0};
+        } else if (dice < 55) {
+          q = {query_kind::neighbors, u, 0};
+        } else if (dice < 75) {
+          q = {query_kind::connected, u, v};
+        } else if (dice < 85) {
+          q = {query_kind::component, u, 0};
+        } else if (dice < 95) {
+          q = {query_kind::bfs_distance, u, v};
+        } else if (dice < 98) {
+          q = {query_kind::kcore_max, 0, 0};
+        } else {
+          q = {query_kind::triangles, 0, 0};
+        }
+        pending.emplace_back(q, engine.submit(q));
+      }
+      rng = rng.next();
+    }
+    engine.drain();
+    ingest_done.store(true, std::memory_order_release);
+    check_a.join();
+    check_b.join();
+
+    // Post-hoc: every result equals the static algorithm on the retained
+    // immutable version it was admitted against.
+    std::map<std::uint64_t, const pinned_snapshot<empty_weight>*> by_version;
+    for (const auto& p : retained) by_version[p.version()] = &p;
+    struct version_expect {
+      std::vector<vertex_id> cc_labels;
+      std::uint64_t kcore_max = 0, triangles = 0;
+      bool have_cc = false, have_kcore = false, have_tri = false;
+    };
+    std::map<std::uint64_t, version_expect> memo;
+
+    for (auto& [q, fut] : pending) {
+      query_result r = fut.get();
+      auto it = by_version.find(r.version);
+      ASSERT_NE(it, by_version.end())
+          << "result admitted against unknown version " << r.version;
+      const auto& snap = *it->second;
+      const auto& g = snap.view();
+      auto& exp = memo[r.version];
+      switch (q.kind) {
+        case query_kind::degree:
+          EXPECT_EQ(r.value, q.u < g.num_vertices()
+                                 ? g.out_degree(q.u)
+                                 : 0u);
+          break;
+        case query_kind::neighbors: {
+          std::vector<vertex_id> want;
+          if (q.u < g.num_vertices()) {
+            auto nghs = g.out_neighbors(q.u);
+            want.assign(nghs.begin(), nghs.end());
+          }
+          EXPECT_EQ(r.list, want);
+          break;
+        }
+        case query_kind::connected: {
+          if (!exp.have_cc) {
+            exp.cc_labels = gbbs::connectivity(g);
+            exp.have_cc = true;
+          }
+          const bool want = exp.cc_labels[q.u] == exp.cc_labels[q.v];
+          EXPECT_EQ(r.value, want ? 1u : 0u)
+              << "connected(" << q.u << "," << q.v << ") @v" << r.version;
+          break;
+        }
+        case query_kind::component:
+          EXPECT_EQ(r.value, snap.components()[q.u]);
+          break;
+        case query_kind::bfs_distance:
+          EXPECT_EQ(r.value, gbbs::bfs(g, q.u)[q.v])
+              << "bfs(" << q.u << "->" << q.v << ") @v" << r.version;
+          break;
+        case query_kind::kcore_max:
+          if (!exp.have_kcore) {
+            exp.kcore_max = gbbs::kcore(g).max_core;
+            exp.have_kcore = true;
+          }
+          EXPECT_EQ(r.value, exp.kcore_max);
+          break;
+        case query_kind::triangles:
+          if (!exp.have_tri) {
+            exp.triangles = gbbs::triangle_count(g);
+            exp.have_tri = true;
+          }
+          EXPECT_EQ(r.value, exp.triangles);
+          break;
+      }
+    }
+
+    // Each retained version is exactly the stream prefix it was published
+    // at (insert-only stream of deduped edges: m = 2 * prefix length).
+    for (std::size_t i = 0; i < retained.size(); ++i) {
+      EXPECT_EQ(retained[i].view().num_edges(), 2 * prefix_at[i])
+          << "version " << retained[i].version();
+    }
+  }
+
+  // Drop every pin: the whole retired chain must be reclaimable.
+  const std::size_t live_before = mgr.store().live_versions();
+  EXPECT_EQ(live_before, retained.size());
+  retained.clear();
+  mgr.store().collect();
+  EXPECT_EQ(mgr.store().live_versions(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+// Replay a mixed update/query trace through the snapshot-serving subsystem:
+// a single writer ingests the graph as an edge stream (publishing an
+// immutable version after every batch, with hand-off compaction), while a
+// pool of reader threads executes a randomized query mix against pinned
+// versions. Reports update and query throughput plus p50/p90/p99 query
+// latency.
+//
+// Flags (besides the shared runner.h set):
+//   -batch <b>        updates per ingest batch (default 1 << 13)
+//   -readers <r>      query reader threads (default 4)
+//   -read-ratio <f>   fraction of trace operations that are queries, in
+//                     [0, 1) (default 0.5); queries per batch =
+//                     batch * f / (1 - f)
+//   -heavy            include whole-graph analytics (kcore/triangles) in
+//                     the query mix
+//   -verify           after the trace: check the final version's CSR edge
+//                     count and its connectivity labels against the static
+//                     connectivity() of the final snapshot.
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "algorithms/connectivity.h"
+#include "bench_common.h"
+#include "dynamic/stream.h"
+#include "runner.h"
+#include "serve/query.h"
+#include "serve/query_engine.h"
+#include "serve/snapshot_manager.h"
+
+namespace {
+
+using gbbs::empty_weight;
+using gbbs::vertex_id;
+using gbbs::serve::query_result;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto o = tools::parse(argc, argv);
+  std::size_t batch_size = std::size_t{1} << 13;
+  std::size_t readers = 4;
+  double read_ratio = 0.5;
+  bool heavy = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
+      batch_size = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-readers") && i + 1 < argc) {
+      readers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-read-ratio") && i + 1 < argc) {
+      read_ratio = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "-heavy")) {
+      heavy = true;
+    }
+  }
+  if (batch_size == 0) batch_size = 1;
+  if (read_ratio < 0 || read_ratio >= 1) read_ratio = 0.5;
+  const std::size_t queries_per_batch = static_cast<std::size_t>(
+      static_cast<double>(batch_size) * read_ratio / (1 - read_ratio));
+
+  auto g = tools::load_symmetric(o);
+  const vertex_id n = g.num_vertices();
+  auto stream_edges = gbbs::dynamic::undirected_stream_edges(g);
+  std::printf(
+      "serve: n=%u, %zu streamed edges, batch=%zu, readers=%zu, "
+      "%zu queries/batch%s\n",
+      n, stream_edges.size(), batch_size, readers, queries_per_batch,
+      heavy ? " (heavy mix)" : "");
+
+  tools::run_rounds("serve", o, [&]() {
+    gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
+    gbbs::serve::snapshot_manager<empty_weight> mgr(n);
+    std::vector<std::future<query_result>> futures;
+    parlib::random rng(o.seed);
+    std::size_t updates = 0, batches = 0, qi = 0;
+    double wall = 0;
+    {
+      gbbs::serve::query_engine<empty_weight> engine(mgr.store(), readers);
+      wall = bench::time_once([&] {
+        while (!stream.done()) {
+          auto raw = stream.next_inserts(batch_size);
+          updates += raw.size();
+          mgr.ingest(std::move(raw));
+          mgr.publish();
+          ++batches;
+          for (std::size_t k = 0; k < queries_per_batch; ++k, ++qi) {
+            futures.push_back(engine.submit(
+                gbbs::serve::make_mixed_query(rng, qi, n, heavy)));
+          }
+          rng = rng.next();
+        }
+        engine.drain();
+      });
+    }
+
+    std::vector<double> latencies;
+    latencies.reserve(futures.size());
+    for (auto& f : futures) {
+      latencies.push_back(f.get().latency_s);
+    }
+    const auto stats = bench::summarize(std::move(latencies));
+    char buf[240];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%zu batches, %zu versions (%zu compactions) | updates %.2f Mups | "
+        "queries %zu @ %.1f kq/s | latency ms p50=%.3f p90=%.3f p99=%.3f "
+        "max=%.3f",
+        batches, static_cast<std::size_t>(mgr.current_version()),
+        mgr.num_compactions(), static_cast<double>(updates) / wall / 1e6,
+        stats.count, static_cast<double>(stats.count) / wall / 1e3,
+        stats.p50 * 1e3, stats.p90 * 1e3, stats.p99 * 1e3, stats.max * 1e3);
+
+    if (o.verify) {
+      auto snap = mgr.pin();
+      bool ok = snap && snap.view().num_edges() == 2 * stream_edges.size();
+      ok = ok && gbbs::same_partition(snap.components(),
+                                      gbbs::connectivity(snap.view()));
+      tools::report_verification("serve", ok);
+    }
+    return std::string(buf);
+  });
+  return 0;
+}

@@ -6,13 +6,16 @@
 //   -batch <b>        updates per batch (default 1 << 14)
 //   -erase-every <k>  after every k-th batch, erase a random sample of
 //                     previously ingested edges (default 0 = insert-only)
+//   -compact-threshold <f>
+//                     auto-compact when the delta overlay exceeds fraction
+//                     f of the base edge count (default 0 = only the final
+//                     manual compact; see dynamic_graph::set_compact_threshold)
 //   -verify           after the stream: check the compacted CSR against a
 //                     from-scratch rebuild (insert-only runs) and the
 //                     incremental connectivity partition against the
 //                     static connectivity() on a snapshot.
 #include <cstdio>
 #include <cstring>
-#include <unordered_map>
 
 #include "algorithms/connectivity.h"
 #include "dynamic/dynamic_graph.h"
@@ -25,20 +28,6 @@ namespace {
 
 using gbbs::vertex_id;
 using gbbs::empty_weight;
-
-// Partition equality of two labelings (bijective label-pair mapping).
-bool same_partition(const std::vector<vertex_id>& a,
-                    const std::vector<vertex_id>& b) {
-  if (a.size() != b.size()) return false;
-  std::unordered_map<vertex_id, vertex_id> a2b, b2a;
-  for (std::size_t v = 0; v < a.size(); ++v) {
-    auto [ia, _] = a2b.try_emplace(a[v], b[v]);
-    if (ia->second != b[v]) return false;
-    auto [ib, __] = b2a.try_emplace(b[v], a[v]);
-    if (ib->second != a[v]) return false;
-  }
-  return true;
-}
 
 bool same_csr(const gbbs::graph<empty_weight>& a,
               const gbbs::graph<empty_weight>& b) {
@@ -59,11 +48,14 @@ int main(int argc, char** argv) {
   auto o = tools::parse(argc, argv);
   std::size_t batch_size = std::size_t{1} << 14;
   std::size_t erase_every = 0;
+  double compact_threshold = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-erase-every") && i + 1 < argc) {
       erase_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-compact-threshold") && i + 1 < argc) {
+      compact_threshold = std::strtod(argv[++i], nullptr);
     }
   }
   if (batch_size == 0) batch_size = 1;
@@ -78,6 +70,7 @@ int main(int argc, char** argv) {
   tools::run_rounds("stream", o, [&]() {
     gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
     gbbs::dynamic::dynamic_unweighted_graph dg(n);
+    dg.set_compact_threshold(compact_threshold);
     gbbs::dynamic::incremental_connectivity cc(n);
     parlib::random rng(o.seed);
     std::size_t batches = 0, rebuilds = 0, updates = 0;
@@ -100,12 +93,13 @@ int main(int argc, char** argv) {
         }
       }
     }
+    const std::size_t auto_compactions = dg.num_compactions();
     dg.compact();
-    char buf[160];
+    char buf[200];
     std::snprintf(buf, sizeof(buf),
-                  "%zu batches (%zu rebuilds), %zu raw updates, m=%llu, "
-                  "%zu components",
-                  batches, rebuilds, updates,
+                  "%zu batches (%zu rebuilds, %zu auto-compactions), "
+                  "%zu raw updates, m=%llu, %zu components",
+                  batches, rebuilds, auto_compactions, updates,
                   static_cast<unsigned long long>(dg.num_edges()),
                   cc.num_components());
     if (o.verify) {
@@ -116,7 +110,7 @@ int main(int argc, char** argv) {
         ok = same_csr(dg.base(), rebuilt);
       }
       auto snap = dg.snapshot();
-      ok = ok && same_partition(cc.labels(), gbbs::connectivity(snap));
+      ok = ok && gbbs::same_partition(cc.labels(), gbbs::connectivity(snap));
       tools::report_verification("stream", ok);
     }
     return std::string(buf);
