@@ -88,6 +88,70 @@ inline sample_stats summarize(std::vector<double> samples) {
   return s;
 }
 
+// ---- machine-readable results (-json <path>) ------------------------------
+// Shared by bench_serve and bench_dynamic: emit one JSON document per run
+// ({"bench": ..., "scale": ..., "workers": ..., "rows": [...]}) so the
+// perf trajectory can be tracked as BENCH_*.json artifacts across PRs.
+
+// One row: an ordered list of key -> scalar fields (insertion order is
+// emission order). Values are doubles (%.6g) or strings.
+class json_record {
+ public:
+  json_record& field(const std::string& k, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    parts_.push_back("\"" + k + "\": " + buf);
+    return *this;
+  }
+  json_record& field(const std::string& k, std::uint64_t v) {
+    parts_.push_back("\"" + k + "\": " + std::to_string(v));
+    return *this;
+  }
+  json_record& field(const std::string& k, const std::string& v) {
+    parts_.push_back("\"" + k + "\": \"" + v + "\"");
+    return *this;
+  }
+  std::string str() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < parts_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += parts_[i];
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::string> parts_;
+};
+
+inline bool write_json(const std::string& path, const std::string& bench,
+                       const std::vector<json_record>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"scale\": %u,\n"
+               "  \"workers\": %zu,\n  \"rows\": [\n",
+               bench.c_str(), bench_scale(), parlib::num_workers());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    %s%s\n", rows[i].str().c_str(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("json results -> %s\n", path.c_str());
+  return true;
+}
+
+// The shared `-json <path>` flag (returns empty if absent).
+inline std::string json_path_flag(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "-json") return argv[i + 1];
+  }
+  return {};
+}
+
 // Time f with exactly `workers` active workers.
 template <typename F>
 double time_with_workers(std::size_t workers, F&& f, int reps = 3) {

@@ -7,7 +7,11 @@
 // Reported as medges/s over the raw update count, single-run (the stream
 // is consumed once per measurement), plus the final static-rebuild
 // baseline build_symmetric_graph for reference.
+//
+// -json <path> emits the whole run as machine-readable rows (tracked as
+// BENCH_dynamic.json across PRs).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -52,7 +56,9 @@ ingest_result replay(const std::vector<gbbs::edge<empty_weight>>& edges,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_flag(argc, argv);
+  std::vector<bench::json_record> rows;
   const std::uint32_t scale = bench::bench_scale() - 2;
   const std::size_t m = std::size_t{12} << scale;
   auto g = gbbs::rmat_symmetric(scale, m, 101);
@@ -77,6 +83,15 @@ int main() {
                 batch_size, ingest, with_cc, with_compact, r.compact_s,
                 r.batch_latency.p50 * 1e3, r.batch_latency.p99 * 1e3);
     std::fflush(stdout);
+    rows.push_back(bench::json_record()
+                       .field("section", std::string("ingest"))
+                       .field("batch", batch_size)
+                       .field("ingest_meps", ingest)
+                       .field("ingest_cc_meps", with_cc)
+                       .field("ingest_cc_compact_meps", with_compact)
+                       .field("compact_s", r.compact_s)
+                       .field("batch_p50_ms", r.batch_latency.p50 * 1e3)
+                       .field("batch_p99_ms", r.batch_latency.p99 * 1e3));
   }
   const double rebuild_s = bench::time_best([&] {
     auto rebuilt = gbbs::build_symmetric_graph<empty_weight>(n, edges);
@@ -84,5 +99,10 @@ int main() {
   });
   std::printf("static rebuild baseline: %.4f s (%.2f Me/s)\n", rebuild_s,
               medges / rebuild_s);
+  rows.push_back(bench::json_record()
+                     .field("section", std::string("rebuild_baseline"))
+                     .field("rebuild_s", rebuild_s)
+                     .field("rebuild_meps", medges / rebuild_s));
+  if (!json_path.empty()) bench::write_json(json_path, "bench_dynamic", rows);
   return 0;
 }

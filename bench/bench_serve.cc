@@ -1,15 +1,23 @@
-// Serving throughput of the snapshot subsystem: query throughput and tail
-// latency as a function of ingest batch size and reader count.
+// Serving throughput of the snapshot subsystem: query throughput, tail
+// latency, and publish latency as a function of ingest batch size and
+// reader count — plus the delta-proportional-publish check: publish
+// latency at a fixed batch size measured at two graph scales must be
+// independent of |V| + |E| (publish is O(delta): shared-base handles +
+// overlay index, no merged-CSR build — see serve/snapshot_manager.h).
 //
 // For each (batch, readers) configuration the same R-MAT edge stream is
-// ingested by a writer thread (publish + hand-off compaction per batch)
-// while a closed-loop generator keeps `readers` query threads saturated
-// with the standard mixed workload (make_mixed_query). Reported per row:
-// ingest rate (Me/s, wall-clock of the writer), completed queries/s, and
-// p50/p99 query latency in milliseconds.
+// ingested by a writer thread (publish per batch) while a closed-loop
+// generator keeps `readers` query threads saturated with the standard
+// mixed workload (make_mixed_query) served with the fresh overlay path.
+// Reported per row: ingest rate (Me/s, wall-clock of the writer),
+// completed queries/s, p50/p99 query latency, and p50 publish latency.
+//
+// -json <path> emits the whole run as machine-readable rows (tracked as
+// BENCH_serve.json across PRs).
 #include <atomic>
 #include <cstdio>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +38,7 @@ struct serve_result {
   double wall_s = 0;     // wall time of the whole run (ingest + drain)
   std::size_t queries = 0;
   bench::sample_stats latency;
+  bench::sample_stats publish_latency;
 };
 
 serve_result run_config(const std::vector<gbbs::edge<empty_weight>>& edges,
@@ -38,15 +47,17 @@ serve_result run_config(const std::vector<gbbs::edge<empty_weight>>& edges,
   gbbs::serve::snapshot_manager<empty_weight> mgr(n);
   serve_result res;
   std::vector<double> latencies;
+  std::vector<double> publish_s;
   res.wall_s = bench::time_once([&] {
-    gbbs::serve::query_engine<empty_weight> engine(mgr.store(), readers);
+    gbbs::serve::query_engine<empty_weight> engine(mgr.store(),
+                                                   &mgr.overlay(), readers);
     std::atomic<bool> writer_done{false};
     std::thread writer([&] {
       gbbs::dynamic::edge_stream<empty_weight> stream(edges);
       res.writer_s = bench::time_once([&] {
         while (!stream.done()) {
           mgr.ingest(stream.next_inserts(batch_size));
-          mgr.publish();
+          publish_s.push_back(bench::time_once([&] { mgr.publish(); }));
         }
       });
       writer_done.store(true, std::memory_order_release);
@@ -73,12 +84,66 @@ serve_result run_config(const std::vector<gbbs::edge<empty_weight>>& edges,
   });
   res.queries = latencies.size();
   res.latency = bench::summarize(std::move(latencies));
+  res.publish_latency = bench::summarize(std::move(publish_s));
+  return res;
+}
+
+// The acceptance measurement: replay fixed-size insert batches
+// (publish per batch) on top of an already-published seed graph of
+// `scale`, and report per-publish latency. Delta-proportional publish
+// means these numbers do not grow with the seed's |V| + |E|.
+struct publish_sweep_result {
+  vertex_id n = 0;
+  gbbs::edge_id m = 0;
+  bench::sample_stats publish_latency;
+  bench::sample_stats ingest_latency;
+};
+
+publish_sweep_result run_publish_sweep(std::uint32_t scale,
+                                       std::size_t batch_size,
+                                       std::size_t num_batches) {
+  const std::size_t m = std::size_t{12} << scale;
+  auto seed = gbbs::rmat_symmetric(scale, m, 211);
+  publish_sweep_result res;
+  res.n = seed.num_vertices();
+  res.m = seed.num_edges();
+  const vertex_id n = seed.num_vertices();
+  gbbs::serve::snapshot_manager<empty_weight> mgr(std::move(seed));
+  parlib::random rng(99);
+  std::vector<double> publish_s, ingest_s;
+  std::size_t k = 0;
+  // Warm up past the transient where random inserts still merge many of
+  // the seed's components (merge volume is a property of the workload,
+  // not of publish); then measure steady-state serving.
+  const std::size_t warmup = 8;
+  for (std::size_t b = 0; b < warmup + num_batches; ++b) {
+    std::vector<gbbs::dynamic::update<empty_weight>> raw;
+    raw.reserve(batch_size);
+    for (std::size_t i = 0; i < batch_size; ++i, ++k) {
+      raw.push_back({static_cast<vertex_id>(rng.ith_rand(2 * k) % n),
+                     static_cast<vertex_id>(rng.ith_rand(2 * k + 1) % n),
+                     {},
+                     gbbs::dynamic::update_op::insert});
+    }
+    const double ing =
+        bench::time_once([&] { mgr.ingest(std::move(raw)); });
+    const double pub = bench::time_once([&] { mgr.publish(); });
+    if (b >= warmup) {
+      ingest_s.push_back(ing);
+      publish_s.push_back(pub);
+    }
+  }
+  res.publish_latency = bench::summarize(std::move(publish_s));
+  res.ingest_latency = bench::summarize(std::move(ingest_s));
   return res;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_flag(argc, argv);
+  std::vector<bench::json_record> rows;
+
   const std::uint32_t scale = bench::bench_scale() - 4;
   const std::size_t m = std::size_t{12} << scale;
   auto g = gbbs::rmat_symmetric(scale, m, 101);
@@ -89,19 +154,65 @@ int main() {
   std::printf(
       "== snapshot serving (n=%u, %zu streamed edges, workers=%zu) ==\n", n,
       edges.size(), parlib::num_workers());
-  std::printf("%-10s %-8s %12s %12s %10s %10s\n", "batch", "readers",
-              "ingest Me/s", "queries/s", "p50(ms)", "p99(ms)");
+  std::printf("%-10s %-8s %12s %12s %10s %10s %10s\n", "batch", "readers",
+              "ingest Me/s", "queries/s", "p50(ms)", "p99(ms)", "pub p50(ms)");
   for (std::size_t batch_size :
        {std::size_t{1} << 10, std::size_t{1} << 13, std::size_t{1} << 16}) {
     for (std::size_t readers : {std::size_t{1}, std::size_t{2},
                                 std::size_t{4}, std::size_t{8}}) {
       const auto r = run_config(edges, n, batch_size, readers);
-      std::printf("%-10zu %-8zu %12.2f %12.0f %10.3f %10.3f\n", batch_size,
-                  readers, medges / r.writer_s,
+      std::printf("%-10zu %-8zu %12.2f %12.0f %10.3f %10.3f %10.3f\n",
+                  batch_size, readers, medges / r.writer_s,
                   static_cast<double>(r.queries) / r.wall_s,
-                  r.latency.p50 * 1e3, r.latency.p99 * 1e3);
+                  r.latency.p50 * 1e3, r.latency.p99 * 1e3,
+                  r.publish_latency.p50 * 1e3);
       std::fflush(stdout);
+      rows.push_back(bench::json_record()
+                         .field("section", std::string("sweep"))
+                         .field("batch", batch_size)
+                         .field("readers", readers)
+                         .field("ingest_meps", medges / r.writer_s)
+                         .field("queries_per_s",
+                                static_cast<double>(r.queries) / r.wall_s)
+                         .field("query_p50_ms", r.latency.p50 * 1e3)
+                         .field("query_p99_ms", r.latency.p99 * 1e3)
+                         .field("publish_p50_ms",
+                                r.publish_latency.p50 * 1e3)
+                         .field("publish_p99_ms",
+                                r.publish_latency.p99 * 1e3));
     }
   }
+
+  // Publish latency vs graph scale at fixed batch size: flat across the
+  // ~16x |V|+|E| gap = publish is O(delta), not O(graph).
+  const std::size_t fixed_batch = 4096;
+  const std::size_t num_batches = 24;
+  std::printf(
+      "\n== publish latency vs graph scale (batch=%zu, publish-per-batch) "
+      "==\n",
+      fixed_batch);
+  std::printf("%-12s %-12s %-12s %12s %12s %12s\n", "scale", "n", "m",
+              "pub p50(ms)", "pub p99(ms)", "ingest p50(ms)");
+  for (std::uint32_t s : {bench::bench_scale() - 6, bench::bench_scale() - 2}) {
+    const auto r = run_publish_sweep(s, fixed_batch, num_batches);
+    std::printf("%-12u %-12u %-12llu %12.3f %12.3f %12.3f\n", s, r.n,
+                static_cast<unsigned long long>(r.m),
+                r.publish_latency.p50 * 1e3, r.publish_latency.p99 * 1e3,
+                r.ingest_latency.p50 * 1e3);
+    std::fflush(stdout);
+    rows.push_back(bench::json_record()
+                       .field("section", std::string("publish_sweep"))
+                       .field("scale", std::uint64_t{s})
+                       .field("n", std::uint64_t{r.n})
+                       .field("m", static_cast<std::uint64_t>(r.m))
+                       .field("batch", fixed_batch)
+                       .field("publish_p50_ms",
+                              r.publish_latency.p50 * 1e3)
+                       .field("publish_p99_ms",
+                              r.publish_latency.p99 * 1e3)
+                       .field("ingest_p50_ms", r.ingest_latency.p50 * 1e3));
+  }
+
+  if (!json_path.empty()) bench::write_json(json_path, "bench_serve", rows);
   return 0;
 }

@@ -47,6 +47,11 @@ struct set_cover_result {
 template <typename Graph>
 set_cover_result set_cover(Graph g, vertex_id num_sets,
                            set_cover_options opts = {}) {
+  // The by-value copy shares the caller's CSR block; detach it up front so
+  // the parallel pack_out below mutates a uniquely-owned clone (a COW race
+  // inside the loop would be unsafe, and packing through a shared block
+  // would corrupt the caller's graph).
+  g.unshare();
   const vertex_id n = g.num_vertices();
   const double one_eps = 1.0 + opts.epsilon;
   auto bucket_of_deg = [&](vertex_id d) -> bucket_id {

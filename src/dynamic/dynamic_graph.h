@@ -81,6 +81,18 @@ class dynamic_graph {
   // maintained incrementally, O(1).
   std::size_t delta_size() const { return overlay_entries_; }
 
+  // Vertices with a non-empty delta, ascending — the work-list that lets
+  // the serve layer distill the overlay in O(overlay) instead of O(n).
+  // Maintained incrementally by apply_batch; cleared by compact/adopt_base.
+  const std::vector<vertex_id>& overlay_vertices() const {
+    return overlay_verts_;
+  }
+
+  // u's delta log (sorted by neighbor id; empty for untouched vertices).
+  const std::vector<delta_entry<W>>& delta_of(vertex_id u) const {
+    return delta_[u];
+  }
+
   // ---- compaction policy --------------------------------------------------
 
   // Auto-compact when the overlay exceeds `frac` of the base edge count
@@ -136,6 +148,34 @@ class dynamic_graph {
                               parlib::reduce_add(dm));
     overlay_entries_ = static_cast<std::size_t>(
         static_cast<long long>(overlay_entries_) + parlib::reduce_add(ds));
+    // Fold the batch's distinct vertices into the sorted overlay work-list,
+    // keeping exactly those with a non-empty delta (a batch can empty a
+    // vertex's delta by undoing it). O(overlay + batch).
+    {
+      std::vector<vertex_id> merged;
+      merged.reserve(overlay_verts_.size() + starts.size());
+      std::size_t a = 0, b = 0;
+      auto keep = [&](vertex_id u) {
+        if (!delta_[u].empty()) merged.push_back(u);
+      };
+      while (a < overlay_verts_.size() || b < starts.size()) {
+        const vertex_id bu =
+            b < starts.size() ? ups[starts[b]].u : kNoVertex;
+        if (b == starts.size() ||
+            (a < overlay_verts_.size() && overlay_verts_[a] < bu)) {
+          merged.push_back(overlay_verts_[a]);  // untouched: still non-empty
+          ++a;
+        } else if (a == overlay_verts_.size() || bu < overlay_verts_[a]) {
+          keep(bu);
+          ++b;
+        } else {
+          keep(bu);
+          ++a;
+          ++b;
+        }
+      }
+      overlay_verts_ = std::move(merged);
+    }
     if (compact_threshold_ > 0 &&
         static_cast<double>(overlay_entries_) >
             compact_threshold_ *
@@ -252,26 +292,32 @@ class dynamic_graph {
   // snapshots after compact() are pure CSR reads.
   void compact() {
     base_ = snapshot();
-    delta_.assign(n_, {});
-    overlay_entries_ = 0;
+    clear_overlay();
     ++compactions_;
   }
 
   // Version hand-off for the serve layer: install an externally built CSR
   // of the *current live view* (e.g. the snapshot just published) as the
-  // new base and clear the overlay — one merged-CSR build then serves as
-  // both the published version and the compacted base.
+  // new base and clear the overlay. Since graph<W> copies share one
+  // refcounted CSR block, passing the just-published snapshot here makes
+  // the published version and the compacted base the *same* arrays — one
+  // merged-CSR build, zero post-merge copies.
   void adopt_base(graph<W> g) {
     assert(g.num_vertices() == n_ && g.num_edges() == m_);
     base_ = std::move(g);
-    delta_.assign(n_, {});
-    overlay_entries_ = 0;
+    clear_overlay();
     ++compactions_;
   }
 
   const graph<W>& base() const { return base_; }
 
  private:
+  void clear_overlay() {
+    delta_.assign(n_, {});
+    overlay_verts_.clear();
+    overlay_entries_ = 0;
+  }
+
   std::span<const vertex_id> base_neighbors(vertex_id u) const {
     if (u >= base_.num_vertices()) return {};
     return base_.out_neighbors(u);
@@ -368,6 +414,7 @@ class dynamic_graph {
   edge_id m_ = 0;
   graph<W> base_;
   std::vector<std::vector<delta_entry<W>>> delta_;  // sorted by neighbor id
+  std::vector<vertex_id> overlay_verts_;  // sorted u with |delta_[u]| > 0
   std::vector<vertex_id> deg_;                      // live out-degrees
   std::size_t overlay_entries_ = 0;  // sum of |delta_[v]| (O(1) delta_size)
   std::size_t compactions_ = 0;

@@ -1,0 +1,96 @@
+// Published connectivity as anchor labels + merge links — the structure
+// that makes publishing components O(delta) instead of O(n).
+//
+// Materializing union-find labels costs O(n · α(n)) per publish, which
+// would put an O(n) floor under every publish no matter how small the
+// ingested delta. Instead a published component_view is:
+//
+//   * an *anchor*: a refcounted label vector materialized at a rare
+//     anchor event (seed publish, erase-triggered connectivity rebuild,
+//     or when the link map outgrows its budget) — shared by every version
+//     published since, never copied; and
+//   * a *link map*: the component merges performed by insert batches
+//     since the anchor, expressed over anchor labels and path-compressed
+//     at build time so a lookup is a single probe. Its size is bounded by
+//     the number of distinct components merged since the anchor, i.e. by
+//     the updates ingested, never by n.
+//
+// label(u) resolves u's anchor label through the link map; two vertices
+// are connected iff their resolved labels are equal. Vertices beyond the
+// anchor (the graph grew since) are their own singleton label — ids of
+// grown vertices are >= the anchor's n while anchor labels are < it, so
+// the two label spaces cannot collide.
+//
+// A component_view is immutable and O(1) to copy (two shared_ptrs); the
+// writer builds one per publish/ingest from its private link union-find
+// (see snapshot_manager).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gbbs::serve {
+
+class component_view {
+ public:
+  using link_map = std::unordered_map<vertex_id, vertex_id>;
+
+  component_view() = default;
+  component_view(std::shared_ptr<const std::vector<vertex_id>> anchor,
+                 std::shared_ptr<const link_map> links)
+      : anchor_(std::move(anchor)), links_(std::move(links)) {}
+
+  // Wrap a fully materialized label vector (anchor only, no links) — the
+  // seed/rebuild path, and the convenience entry point for tests.
+  static component_view from_labels(std::vector<vertex_id> labels) {
+    return component_view(
+        std::make_shared<const std::vector<vertex_id>>(std::move(labels)),
+        nullptr);
+  }
+
+  // Resolved component label of u. Labels are comparable within one view
+  // (same partition semantics as static connectivity(), up to renaming).
+  vertex_id label(vertex_id u) const {
+    vertex_id a = u;
+    if (anchor_ != nullptr && u < anchor_->size()) a = (*anchor_)[u];
+    if (links_ != nullptr) {
+      auto it = links_->find(a);
+      if (it != links_->end()) return it->second;
+    }
+    return a;
+  }
+
+  bool connected(vertex_id u, vertex_id v) const {
+    return label(u) == label(v);
+  }
+
+  // Number of vertices the anchor covers (vertices at/above are singletons
+  // from this view's perspective).
+  std::size_t anchor_size() const {
+    return anchor_ == nullptr ? 0 : anchor_->size();
+  }
+  std::size_t num_links() const {
+    return links_ == nullptr ? 0 : links_->size();
+  }
+
+  // O(n) flat label vector — for verification paths and tests only; the
+  // serving read path never materializes.
+  std::vector<vertex_id> materialize(vertex_id n) const {
+    std::vector<vertex_id> out(n);
+    parlib::parallel_for(0, n, [&](std::size_t u) {
+      out[u] = label(static_cast<vertex_id>(u));
+    });
+    return out;
+  }
+
+ private:
+  std::shared_ptr<const std::vector<vertex_id>> anchor_;
+  std::shared_ptr<const link_map> links_;  // anchor label -> merged root
+};
+
+}  // namespace gbbs::serve

@@ -1,0 +1,232 @@
+// Overlay-served point reads: answer degree / neighbors / connected /
+// component queries from the *uncompacted* delta overlay, so read
+// freshness no longer waits for publish. The writer distills the dynamic
+// graph's overlay into an immutable overlay_snapshot after every ingest —
+// O(overlay + batch) work, proportional to the updates absorbed since the
+// last publish, never to the graph — and hands it to readers through a
+// seqlock-style epoch (overlay_view below).
+//
+// An overlay_snapshot is self-contained: it holds a *shared* handle onto
+// the base CSR the deltas are relative to (an O(1) refcounted copy of
+// dynamic_graph::base(), see graph.h), the flattened per-vertex delta
+// entries, and the post-ingest connectivity as a component_view. Point
+// reads therefore never touch writer state and never race with the next
+// batch: the live neighborhood of u is the same base-vs-delta two-pointer
+// merge dynamic_graph itself uses, executed against frozen shared data.
+// Holding the base by shared handle (rather than assuming it matches the
+// published head) also makes the index immune to auto-compaction racing
+// between publishes: whatever base the overlay is relative to *right now*
+// is the base the index carries.
+//
+// Publication (overlay_view) is a seqlock over the (epoch, index) pair:
+// the writer bumps the sequence to odd, swaps the index pointer, bumps to
+// even; readers retry while the sequence is odd or moved. Unlike a
+// classic seqlock the protected payload is an immutable refcounted
+// snapshot, so a reader can never observe torn data — the seqlock's only
+// job is the freshness guarantee: once ingest() has returned, a
+// subsequent read() observes an index whose epoch covers that ingest
+// (read-your-writes for the single-writer serving loop), and epochs are
+// monotone across reads.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dynamic_graph.h"
+#include "graph/graph.h"
+#include "serve/component_view.h"
+
+namespace gbbs::serve {
+
+// Immutable distillation of the dynamic graph's state after one ingest.
+template <typename W>
+struct overlay_snapshot {
+  std::uint64_t epoch = 0;         // updates ingested when this was built
+  std::uint64_t base_version = 0;  // published store version at build time
+  vertex_id n = 0;                 // live vertex count (>= base's n)
+  gbbs::graph<W> base;             // shared CSR the deltas are relative to
+
+  // Flattened overlay: verts (ascending) with non-empty deltas;
+  // entries[ends[i-1] .. ends[i]) is the neighbor-sorted delta of
+  // verts[i]; live_deg[i] is its live out-degree.
+  std::vector<vertex_id> verts;
+  std::vector<std::size_t> ends;
+  std::vector<dynamic::delta_entry<W>> entries;
+  std::vector<vertex_id> live_deg;
+
+  component_view cc;  // connectivity after the last ingest
+
+  // Index of u in verts, or npos if u has no overlay entries.
+  static constexpr std::size_t npos = ~std::size_t{0};
+  std::size_t slot(vertex_id u) const {
+    auto it = std::lower_bound(verts.begin(), verts.end(), u);
+    if (it == verts.end() || *it != u) return npos;
+    return static_cast<std::size_t>(it - verts.begin());
+  }
+
+  vertex_id degree(vertex_id u) const {
+    const std::size_t i = slot(u);
+    if (i != npos) return live_deg[i];
+    return u < base.num_vertices() ? base.out_degree(u) : 0;
+  }
+
+  bool contains_edge(vertex_id u, vertex_id v) const {
+    if (u >= n) return false;
+    const std::size_t i = slot(u);
+    if (i != npos) {
+      const auto lo = entries.begin() + (i == 0 ? 0 : ends[i - 1]);
+      const auto hi = entries.begin() + ends[i];
+      auto it = std::lower_bound(
+          lo, hi, v,
+          [](const dynamic::delta_entry<W>& e, vertex_id x) {
+            return e.v < x;
+          });
+      if (it != hi && it->v == v) return it->present;
+    }
+    if (u >= base.num_vertices()) return false;
+    const auto nghs = base.out_neighbors(u);
+    return std::binary_search(nghs.begin(), nghs.end(), v);
+  }
+
+  // Materialize the full merged CSR (base ⊕ overlay) as a fresh symmetric
+  // graph — O(n + m) work, the cost publish() no longer pays eagerly; the
+  // store memoizes this per published version so at most one analytics
+  // query per version pays it. Serving graphs are symmetric.
+  gbbs::graph<W> materialize() const {
+    assert(base.symmetric());
+    auto degs = parlib::tabulate<edge_id>(n, [&](std::size_t v) {
+      return degree(static_cast<vertex_id>(v));
+    });
+    const edge_id total = parlib::scan_inplace(degs);
+    std::vector<edge_id> offsets(static_cast<std::size_t>(n) + 1);
+    parlib::parallel_for(0, n, [&](std::size_t v) { offsets[v] = degs[v]; });
+    offsets[n] = total;
+    std::vector<vertex_id> nghs(total);
+    std::vector<W> wghs;
+    if constexpr (!std::is_same_v<W, empty_weight>) wghs.resize(total);
+    parlib::parallel_for(0, n, [&](std::size_t vi) {
+      const auto v = static_cast<vertex_id>(vi);
+      edge_id k = offsets[vi];
+      merge_row(v, [&](vertex_id ngh, W w) {
+        nghs[k] = ngh;
+        if constexpr (!std::is_same_v<W, empty_weight>) wghs[k] = w;
+        ++k;
+        (void)w;
+      });
+      assert(k == offsets[vi + 1]);
+    });
+    return gbbs::graph<W>(n, total, /*symmetric=*/true, std::move(offsets),
+                          std::move(nghs), std::move(wghs));
+  }
+
+  // The live out-neighborhood of u, ascending (base merged with delta).
+  std::vector<vertex_id> neighbors(vertex_id u) const {
+    std::vector<vertex_id> out;
+    out.reserve(degree(u));
+    merge_row(u, [&](vertex_id ngh, W) { out.push_back(ngh); });
+    return out;
+  }
+
+  // f(ngh, w) over u's live out-neighborhood, ascending: the base row
+  // merged two-pointer with u's delta entries (delta overrides base).
+  template <typename F>
+  void merge_row(vertex_id u, const F& f) const {
+    std::span<const vertex_id> bn{};
+    if (u < base.num_vertices()) bn = base.out_neighbors(u);
+    const std::size_t i = slot(u);
+    if (i == npos) {
+      for (std::size_t j = 0; j < bn.size(); ++j) {
+        f(bn[j], base.out_weight(u, j));
+      }
+      return;
+    }
+    const std::size_t lo = i == 0 ? 0 : ends[i - 1];
+    const std::size_t hi = ends[i];
+    std::size_t di = lo, j = 0;
+    while (di < hi || j < bn.size()) {
+      if (j == bn.size() || (di < hi && entries[di].v < bn[j])) {
+        if (entries[di].present) f(entries[di].v, entries[di].w);
+        ++di;
+      } else if (di == hi || bn[j] < entries[di].v) {
+        f(bn[j], base.out_weight(u, j));
+        ++j;
+      } else {  // same neighbor: delta overrides base
+        if (entries[di].present) f(entries[di].v, entries[di].w);
+        ++di;
+        ++j;
+      }
+    }
+  }
+};
+
+// Distill the dynamic graph's current overlay (writer thread only; the
+// dynamic graph must not be mutated concurrently). O(overlay) work.
+template <typename W>
+std::shared_ptr<const overlay_snapshot<W>> build_overlay_snapshot(
+    const dynamic::dynamic_graph<W>& dg, component_view cc,
+    std::uint64_t epoch, std::uint64_t base_version) {
+  auto idx = std::make_shared<overlay_snapshot<W>>();
+  idx->epoch = epoch;
+  idx->base_version = base_version;
+  idx->n = dg.num_vertices();
+  idx->base = dg.base();  // O(1) shared handle
+  idx->cc = std::move(cc);
+  const auto& verts = dg.overlay_vertices();
+  idx->verts = verts;
+  idx->ends.reserve(verts.size());
+  idx->live_deg.reserve(verts.size());
+  std::size_t total = 0;
+  for (vertex_id u : verts) total += dg.delta_of(u).size();
+  idx->entries.reserve(total);
+  for (vertex_id u : verts) {
+    const auto& d = dg.delta_of(u);
+    idx->entries.insert(idx->entries.end(), d.begin(), d.end());
+    idx->ends.push_back(idx->entries.size());
+    idx->live_deg.push_back(dg.out_degree(u));
+  }
+  return idx;
+}
+
+// Seqlock-style publication of the freshest overlay_snapshot: single
+// writer swaps, any number of readers load. See file header for the
+// protocol and the freshness guarantee.
+template <typename W>
+class overlay_view {
+ public:
+  // Freshest index, or null if the writer has not published one yet.
+  std::shared_ptr<const overlay_snapshot<W>> read() const {
+    for (;;) {
+      const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+      if ((s1 & 1) == 0) {
+        auto p = idx_.load(std::memory_order_acquire);
+        if (seq_.load(std::memory_order_acquire) == s1) return p;
+      }
+      std::this_thread::yield();  // writer mid-swap; the window is tiny
+    }
+  }
+
+  // Epoch of the freshest index (0 before the first refresh).
+  std::uint64_t epoch() const {
+    auto p = read();
+    return p == nullptr ? 0 : p->epoch;
+  }
+
+  // Writer side: install a new index. Not reentrant.
+  void refresh(std::shared_ptr<const overlay_snapshot<W>> idx) {
+    seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: swap in progress
+    idx_.store(std::move(idx), std::memory_order_release);
+    seq_.fetch_add(1, std::memory_order_release);  // even: stable
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::shared_ptr<const overlay_snapshot<W>>> idx_{nullptr};
+};
+
+}  // namespace gbbs::serve

@@ -1,23 +1,35 @@
-// Reader pool: N threads draining a queue of typed queries, each query
-// executing against the snapshot version current at admission (the worker
-// pins the store's latest version right before executing, holds the pin for
-// exactly the query's duration, and records the version in the result).
+// Reader pool: N threads draining a queue of typed queries.
+//
+// Routing. Point reads (degree / neighbors / connected / component) are
+// served from the freshest overlay index when the engine was given one —
+// they observe every ingested batch, published or not (read freshness
+// decoupled from publish frequency). Everything else — and every query,
+// when no overlay is wired — pins the store's latest published version
+// right before executing, holds the pin for exactly the query's duration,
+// and records the version in the result.
 //
 // The pool runs concurrently with the single writer publishing into the
-// same snapshot_store — admission control is the lock-free pin, so readers
-// never block ingest and ingest never blocks readers; the submission queue
-// itself is a plain mutex + condvar (contended only at enqueue/dequeue, not
-// during execution).
+// same snapshot_store — admission control is the lock-free pin (or the
+// seqlock overlay read), so readers never block ingest and ingest never
+// blocks readers; the submission queue itself is a plain mutex + condvar
+// (contended only at enqueue/dequeue, not during execution).
 //
-// Queries that internally use parallel algorithms (bfs/kcore/triangles) run
-// on the shared parlib work-stealing scheduler; reader threads are not
-// scheduler workers, but par_do from foreign threads is safe (jobs enqueue
-// on deque 0, pop_if validates identity) — concurrent queries simply share
-// the worker pool.
+// Admission control. The submit queue can be bounded
+// (query_engine_options::max_queue) so an ingest-driven query burst
+// cannot grow it without limit: `reject` resolves overflowing submits
+// immediately with result.rejected = true (dropped() counts them);
+// `block` makes submit wait for space — backpressure on the producer.
+//
+// Queries that internally use parallel algorithms (bfs/kcore/triangles)
+// run on the shared parlib work-stealing scheduler; reader threads are
+// not scheduler workers, but par_do from foreign threads is safe (jobs
+// enqueue on deque 0, pop_if validates identity) — concurrent queries
+// simply share the worker pool.
 //
 // Lifetime: the engine must be destroyed (or stop()ed) before the
-// snapshot_store it reads from. The destructor finishes all queued queries
-// first, so every future obtained from submit() becomes ready.
+// snapshot_store / overlay_view it reads from. The destructor finishes
+// all queued queries first, so every future obtained from submit()
+// becomes ready.
 #pragma once
 
 #include <chrono>
@@ -30,17 +42,38 @@
 #include <utility>
 #include <vector>
 
+#include "serve/overlay_view.h"
 #include "serve/query.h"
 #include "serve/snapshot_store.h"
 
 namespace gbbs::serve {
 
+struct query_engine_options {
+  // Max queries waiting in the submit queue; 0 = unbounded (the PR-2
+  // behavior). In-flight queries (being executed) don't count.
+  std::size_t max_queue = 0;
+  enum class overflow_policy : std::uint8_t {
+    reject,  // overflowing submit resolves immediately, rejected = true
+    block,   // overflowing submit waits until the queue has space
+  };
+  overflow_policy on_overflow = overflow_policy::reject;
+};
+
 template <typename W>
 class query_engine {
  public:
+  // Snapshot-only engine: every query pins a published version.
   explicit query_engine(const snapshot_store<W>& store,
-                        std::size_t num_readers = 4)
-      : store_(store) {
+                        std::size_t num_readers = 4,
+                        query_engine_options options = {})
+      : query_engine(store, nullptr, num_readers, options) {}
+
+  // Engine with a fresh path: point reads are served from `overlay`
+  // (pass &manager.overlay()), the rest from pinned versions.
+  query_engine(const snapshot_store<W>& store,
+               const overlay_view<W>* overlay, std::size_t num_readers = 4,
+               query_engine_options options = {})
+      : store_(store), overlay_(overlay), options_(options) {
     if (num_readers == 0) num_readers = 1;
     readers_.reserve(num_readers);
     for (std::size_t i = 0; i < num_readers; ++i) {
@@ -56,17 +89,35 @@ class query_engine {
   // Enqueue a query; the future resolves once a reader has executed it.
   // Thread-safe. Latency is measured submit -> completion (queue wait
   // included), the client-observed number. A submit that races with (or
-  // follows) stop() is rejected: its future resolves immediately with a
-  // default result (version 0), never left unready.
+  // follows) stop() is rejected: its future resolves immediately with
+  // rejected = true (and counts toward dropped()), never left unready. A
+  // submit overflowing a bounded queue follows the configured policy.
   std::future<query_result> submit(query q) {
     item it;
     it.q = q;
     it.submitted = std::chrono::steady_clock::now();
     std::future<query_result> fut = it.promise.get_future();
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      std::unique_lock<std::mutex> lk(mutex_);
+      if (options_.max_queue != 0 &&
+          options_.on_overflow ==
+              query_engine_options::overflow_policy::block) {
+        space_cv_.wait(lk, [this] {
+          return queue_.size() < options_.max_queue || stopping_;
+        });
+      }
       if (stopping_) {
-        it.promise.set_value(query_result{});
+        query_result r;
+        r.rejected = true;  // not served — distinguishable from a result
+        ++dropped_;
+        it.promise.set_value(std::move(r));
+        return fut;
+      }
+      if (options_.max_queue != 0 && queue_.size() >= options_.max_queue) {
+        ++dropped_;
+        query_result r;
+        r.rejected = true;
+        it.promise.set_value(std::move(r));
         return fut;
       }
       queue_.push_back(std::move(it));
@@ -90,6 +141,7 @@ class query_engine {
       stopping_ = true;
     }
     work_cv_.notify_all();
+    space_cv_.notify_all();
     for (auto& t : readers_) t.join();
     readers_.clear();
   }
@@ -99,6 +151,12 @@ class query_engine {
   std::uint64_t completed() const {
     std::lock_guard<std::mutex> lk(mutex_);
     return completed_;
+  }
+
+  // Queries rejected by the bounded-queue overflow policy.
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return dropped_;
   }
 
  private:
@@ -118,11 +176,22 @@ class query_engine {
         it = std::move(queue_.front());
         queue_.pop_front();
       }
-      // Admission: pin the version current right now; the query sees this
-      // version regardless of how far ingest advances while it runs.
+      space_cv_.notify_one();
       query_result r;
-      if (pinned_snapshot<W> snap = store_.pin()) {
-        r = execute_query(snap, it.q);
+      if (overlay_ != nullptr && is_point_read(it.q.kind)) {
+        // Fresh path: the overlay index current right now (covers every
+        // ingest that returned before this read).
+        if (auto idx = overlay_->read()) {
+          r = execute_point_query(*idx, it.q);
+        } else if (pinned_snapshot<W> snap = store_.pin()) {
+          r = execute_query(snap, it.q);
+        }
+      } else {
+        // Versioned path: pin the version current at execution; the query
+        // sees it regardless of how far ingest advances while it runs.
+        if (pinned_snapshot<W> snap = store_.pin()) {
+          r = execute_query(snap, it.q);
+        }
       }
       r.latency_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - it.submitted)
@@ -139,14 +208,18 @@ class query_engine {
   }
 
   const snapshot_store<W>& store_;
+  const overlay_view<W>* overlay_ = nullptr;  // null: snapshot-only engine
+  const query_engine_options options_;
   std::vector<std::thread> readers_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
+  std::condition_variable space_cv_;
   std::deque<item> queue_;
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
   bool stopping_ = false;
 };
 

@@ -1,35 +1,55 @@
 // Single-writer ingest front-end for the serving layer: owns the
 // batch-dynamic graph, maintains incremental connectivity across batches,
-// and publishes immutable versions into a snapshot_store that any number of
+// publishes immutable versions into a snapshot_store that any number of
 // reader threads pin concurrently (see snapshot_store.h for the pinning
-// protocol).
+// protocol), and refreshes an overlay_view after every ingest so point
+// reads can see updates *before* they are published.
 //
 // Division of labor:
 //   writer thread:  ingest(raw updates) ... publish() ... ingest ...
-//   reader threads: pin() -> run queries against the pinned version.
+//   reader threads: pin() -> versioned queries;  overlay().read() ->
+//                   fresh point reads (degree / neighbors / connected).
 //
-// publish() builds the merged CSR of the live view *once* and uses it
-// twice: it becomes the published version and (via
-// dynamic_graph::adopt_base) the dynamic graph's new compacted base, so a
-// publish-per-batch serving loop compacts as a side effect of publishing —
-// one merge build plus a flat O(n+m) array copy, instead of two merge
-// builds (sharing the arrays outright would need refcounted CSRs inside
-// dynamic_graph; see ROADMAP). Between publishes the dynamic graph's own
-// auto-compaction threshold bounds overlay growth.
+// Publish cost is proportional to the delta, not the graph:
+//   * overlay empty (right after a compaction, or nothing effective
+//     ingested): the base CSR *is* the live view, and since graph<W>
+//     copies share one refcounted block, publishing it is O(1) — no
+//     merge, no allocation, no copy;
+//   * overlay non-empty: the version is published as {shared base CSR,
+//     overlay index, component view} — O(overlay) handle copies, no
+//     merged-CSR build at all. The merged CSR is materialized lazily,
+//     once per version, only if an analytics query (bfs/kcore/triangles)
+//     asks for it (see version_payload::view()); point reads are served
+//     from base + overlay directly. Heavy merges therefore happen only at
+//     auto-compaction thresholds (amortized O(1/threshold) per update) or
+//     on analytics demand — never on the publish hot path. PR 2 paid a
+//     full merge build plus a flat O(n+m) array copy on *every* publish;
+//   * when auto-compaction is disabled (compact_threshold == 0), publish
+//     is the compaction point: it builds the merged CSR once and shares
+//     it between the published version and the dynamic graph's new base
+//     via adopt_base — zero post-merge copies;
+//   * connectivity rides along as a component_view — an anchor label
+//     vector shared across publishes plus a link map of merges since the
+//     anchor — so no O(n) label materialization per publish either. The
+//     anchor is re-materialized only at rare events: an erase-triggered
+//     connectivity rebuild (already O(n + m)) or the link map outgrowing
+//     its budget.
 //
-// Connectivity labels ride along with every version: the writer maintains
-// them incrementally (O(batch * alpha(n)) for insert-only batches), so
-// reader-side connectivity queries are O(1) label lookups instead of an
-// O(m) traversal per query.
+// Reader-side connectivity queries stay O(1)-ish: label resolution is an
+// anchor lookup plus one hash probe.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/incremental_connectivity.h"
 #include "dynamic/update_batch.h"
+#include "serve/component_view.h"
+#include "serve/overlay_view.h"
 #include "serve/snapshot_store.h"
 
 namespace gbbs::serve {
@@ -42,6 +62,7 @@ class snapshot_manager {
   explicit snapshot_manager(vertex_id n = 0, double compact_threshold = 0.25)
       : dg_(n, /*symmetric=*/true), cc_(n) {
     dg_.set_compact_threshold(compact_threshold);
+    refresh_anchor();
     publish();
   }
 
@@ -51,20 +72,25 @@ class snapshot_manager {
       : dg_(std::move(seed)), cc_(0) {
     dg_.set_compact_threshold(compact_threshold);
     cc_.rebuild(dg_);
+    refresh_anchor();
     publish();
   }
 
   // ---- writer side (single thread) ---------------------------------------
 
-  // Absorb a raw update batch and keep connectivity current. Invisible to
-  // readers until the next publish().
+  // Absorb a raw update batch, keep connectivity current, and refresh the
+  // overlay view so point reads observe this batch immediately — published
+  // versions are untouched until the next publish(). O(batch + overlay).
   void ingest(std::vector<dynamic::update<W>> raw) {
     updates_ingested_ += raw.size();
     auto batch = dg_.apply(std::move(raw));
     cc_.apply(batch, dg_);
+    track_links(batch);
+    refresh_overlay();
   }
 
   // Publish the live view as a new immutable version. Returns its number.
+  // O(delta) — see the file header for the cost breakdown per case.
   // Publishing with nothing ingested since the previous publish is a no-op
   // returning the current version (no CSR copy, no version churn).
   std::uint64_t publish() {
@@ -73,24 +99,64 @@ class snapshot_manager {
       return store_.current_version();
     }
     last_published_updates_ = updates_ingested_;
-    gbbs::graph<W> snap;
+    std::uint64_t v;
+    bool compacted = false;
     if (dg_.delta_size() == 0 &&
         dg_.base().num_vertices() == dg_.num_vertices()) {
-      // Overlay empty: the base CSR already is the live view; flat copy.
-      snap = dg_.base();
-    } else {
-      // Version hand-off: one merge build; the flat copy becomes the new
-      // base while the original goes to the store.
-      snap = dg_.snapshot();
+      // Overlay empty: the base CSR already is the live view. Shared
+      // handle copy — O(1), no allocation, no merge.
+      v = store_.publish(dg_.base(), current_components(),
+                         updates_ingested_);
+    } else if (dg_.compact_threshold() == 0) {
+      // Auto-compaction disabled: publish is the compaction point. One
+      // merged-CSR build; adopt_base shares the same arrays as the
+      // dynamic graph's new compacted base (zero post-merge copies).
+      gbbs::graph<W> snap = dg_.snapshot();
       dg_.adopt_base(snap);
+      v = store_.publish(std::move(snap), current_components(),
+                         updates_ingested_);
+      compacted = true;
+    } else {
+      // Delta-proportional path: the version is the shared base plus the
+      // overlay index the last ingest distilled — no merge; the store
+      // materializes lazily if an analytics query needs the full CSR.
+      if (last_index_ == nullptr ||
+          last_index_->epoch != updates_ingested_) {
+        refresh_overlay();
+      }
+      v = store_.publish(dg_.base(), last_index_, current_components(),
+                         updates_ingested_);
     }
-    return store_.publish(std::move(snap), cc_.labels(), updates_ingested_);
+    // Publishing does not change the live view, so the overlay index
+    // stays content-correct — rebuild it only when compaction swapped the
+    // base out from under it (O(1): the overlay is empty then). Its
+    // epoch/base_version metadata may lag one publish; the next ingest
+    // refreshes both.
+    if (compacted) refresh_overlay();
+    return v;
   }
 
   std::uint64_t updates_ingested() const { return updates_ingested_; }
   std::size_t num_compactions() const { return dg_.num_compactions(); }
   const dynamic::dynamic_graph<W>& live() const { return dg_; }
   dynamic::incremental_connectivity& connectivity() { return cc_; }
+
+  // The connectivity partition after the last ingest, as an immutable
+  // O(1)-copy view (what publish attaches to the next version). The
+  // compressed link map is memoized until the next batch adds merges, so
+  // back-to-back publishes pay O(1), not O(links).
+  component_view current_components() const {
+    if (components_dirty_) {
+      auto links = std::make_shared<component_view::link_map>();
+      links->reserve(link_uf_.size());
+      for (const auto& [from, _] : link_uf_) {
+        (*links)[from] = link_find(from);
+      }
+      cached_components_ = component_view(anchor_, std::move(links));
+      components_dirty_ = false;
+    }
+    return cached_components_;
+  }
 
   // ---- reader side (any thread) ------------------------------------------
 
@@ -99,10 +165,88 @@ class snapshot_manager {
   const snapshot_store<W>& store() const { return store_; }
   snapshot_store<W>& store() { return store_; }
 
+  // Freshest overlay index: point reads against it see every ingested
+  // batch, published or not. Safe from any thread.
+  const overlay_view<W>& overlay() const { return overlay_; }
+
  private:
+  static constexpr std::size_t kLinkBudget = 4096;
+
+  // Record the component merges an insert batch performed, in anchor-label
+  // space, into the writer's private link union-find. O(batch · α).
+  void track_links(const dynamic::update_batch<W>& batch) {
+    if (batch.empty()) return;
+    if (batch.has_erases()) {
+      // cc_ just rebuilt from scratch (erases can split components);
+      // re-anchor — the rebuild already paid O(n + m).
+      refresh_anchor();
+      return;
+    }
+    for (const auto& up : batch.updates) {
+      if (link_unite(anchor_label(up.u), anchor_label(up.v))) {
+        components_dirty_ = true;
+      }
+    }
+    // Keep the link map bounded by a constant so compressing it at the
+    // next publish costs the same at every graph scale; the O(n)
+    // re-anchor amortizes over the >= kLinkBudget merges that forced it.
+    // (In steady state — batches that merge nothing new — publishes reuse
+    // the memoized component view and pay nothing here.)
+    if (link_uf_.size() > kLinkBudget) refresh_anchor();
+  }
+
+  vertex_id anchor_label(vertex_id u) const {
+    return u < anchor_->size() ? (*anchor_)[u] : u;
+  }
+
+  // Writer-private union-find over anchor labels (absent key = self root).
+  vertex_id link_find(vertex_id a) const {
+    for (;;) {
+      auto it = link_uf_.find(a);
+      if (it == link_uf_.end() || it->second == a) return a;
+      a = it->second;
+    }
+  }
+
+  // True iff this union merged two previously distinct components.
+  bool link_unite(vertex_id a, vertex_id b) {
+    a = link_find(a);
+    b = link_find(b);
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    link_uf_[b] = a;
+    link_uf_.try_emplace(a, a);  // make the root enumerable
+    return true;
+  }
+
+  // Materialize fresh anchor labels (O(n)) and clear the link map. Called
+  // only at anchor events — seed, erase rebuild, link-budget overflow.
+  void refresh_anchor() {
+    anchor_ = std::make_shared<const std::vector<vertex_id>>(cc_.labels());
+    link_uf_.clear();
+    components_dirty_ = true;
+  }
+
+  // Distill the current overlay into an immutable index and hand it to
+  // readers through the seqlock. O(overlay + links).
+  void refresh_overlay() {
+    last_index_ = build_overlay_snapshot(dg_, current_components(),
+                                         updates_ingested_,
+                                         store_.current_version());
+    overlay_.refresh(last_index_);
+  }
+
   dynamic::dynamic_graph<W> dg_;
   dynamic::incremental_connectivity cc_;
   snapshot_store<W> store_;
+  overlay_view<W> overlay_;
+  // The index refresh_overlay last built (what publish attaches to a
+  // delta-proportional version).
+  std::shared_ptr<const overlay_snapshot<W>> last_index_;
+  std::shared_ptr<const std::vector<vertex_id>> anchor_;
+  std::unordered_map<vertex_id, vertex_id> link_uf_;
+  mutable component_view cached_components_;
+  mutable bool components_dirty_ = true;
   std::uint64_t updates_ingested_ = 0;
   std::uint64_t last_published_updates_ = 0;
 };

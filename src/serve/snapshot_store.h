@@ -2,35 +2,48 @@
 // ingest path and a pool of concurrent readers (toward the ROADMAP's
 // serve-heavy-traffic north star).
 //
-// Model. The writer publishes immutable versions — a static CSR plus the
-// connectivity labels current at publish time — and readers *pin* the
-// latest version without taking any lock. A pinned version stays alive (its
-// CSR is never mutated, moved, or freed) until the last pin drops; versions
-// nobody pins are reclaimed by the writer on the next publish()/collect().
+// Model. The writer publishes immutable versions and readers *pin* the
+// latest one without taking any lock. A version is a *payload* of shared
+// handles — the base CSR (refcounted, see graph.h), an optional overlay
+// index of deltas relative to it, and a component_view — so publishing
+// costs O(delta), never O(n + m): no merged-CSR build, no label
+// materialization, no array copies. The full merged CSR of a version is
+// materialized *lazily*, at most once per version (memoized in the shared
+// payload under std::call_once), and only when an analytics query
+// actually asks for view(); point reads are answered from base + overlay
+// directly. Versions published while the overlay is empty (right after a
+// compaction, or when nothing effective was ingested) carry the base
+// outright — their view() is free and shares the writer's arrays.
 //
-// Pinning protocol (hazard-bridged refcounts). Each version carries a pin
-// refcount, but a bare refcount is not enough: between loading the head
-// pointer and incrementing its count the writer could retire *and free* the
-// version. A small fixed table of hazard slots bridges that window, the
-// classic hazard-pointer handshake (Michael 2004):
+// Pins are self-contained: pin() copies the payload handle (O(1)), and
+// from then on the reader owns the data outright. A pinned snapshot stays
+// valid after the version is retired, after the store reclaims the
+// version node, and even after the store itself is destroyed — the arrays
+// live until the last owner drops them.
+//
+// Pinning protocol (hazard-bridged handle copy). The only window that
+// needs protection is reading the head node's payload pointer: between
+// loading the head and copying the handle the writer could retire *and
+// free* the node. A small fixed table of hazard slots bridges that
+// window, the classic hazard-pointer handshake (Michael 2004):
 //
 //   reader                                writer (publish/collect)
 //   ------                                ------------------------
 //   p = head.load(acquire)                head.store(new, release)
 //   slot.store(p, release)                retire old head
 //   fence(seq_cst)                        fence(seq_cst)
-//   if (head.load(acquire) != p) retry    scan slots + pin counts;
-//   p->pins.fetch_add(1)                  free retired versions that are
-//   slot.store(nullptr, release)            unhazarded and unpinned
+//   if (head.load(acquire) != p) retry    scan slots; free retired
+//   copy p's payload handle                 nodes that are unhazarded
+//   slot.store(nullptr, release)
 //
 // The seq_cst fences totally order the two sides: either the reader's
 // re-validation sees the new head (and retries), or the writer's scan sees
-// the reader's hazard (and keeps the version). Once the pin count is
-// incremented the hazard slot is released — long-running queries hold only
-// the refcount, so the slot table stays small no matter how long queries
-// run. Readers never allocate, lock, or spin on the fast path; a reader
-// stalled mid-handshake delays reclamation of at most one version and never
-// blocks the writer from publishing.
+// the reader's hazard (and keeps the node). Once the handle is copied the
+// slot is released — long-running queries hold only refcounted handles,
+// so version *nodes* are reclaimed promptly no matter how long queries
+// run. Readers never lock or spin on the fast path; a reader stalled
+// mid-handshake delays reclamation of at most one node and never blocks
+// the writer from publishing.
 //
 // Contract: publish()/collect()/live_versions() are writer-only (one thread
 // at a time); pin() is safe from any number of concurrent threads.
@@ -40,71 +53,96 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "serve/component_view.h"
+#include "serve/overlay_view.h"
 
 namespace gbbs::serve {
 
-// One published version: an immutable CSR of the live graph at publish
-// time, the connectivity labels the writer maintained incrementally, and
-// the number of raw stream updates absorbed when it was published (which
-// lets tests and traces map a version back to a stream prefix).
+// One published version, shared between the store's node and every pin of
+// it. All fields immutable after publish except the memoized merged CSR.
 template <typename W>
-struct graph_version {
+struct version_payload {
   std::uint64_t version = 0;
-  gbbs::graph<W> g;
-  std::vector<vertex_id> components;
   std::uint64_t updates_ingested = 0;
+  gbbs::graph<W> base;  // shared CSR block
+  // Deltas relative to `base` (null or empty: the base is the live view).
+  std::shared_ptr<const overlay_snapshot<W>> overlay;
+  component_view components;
 
-  mutable std::atomic<std::uint64_t> pins{0};
-  graph_version* next_retired = nullptr;  // writer-owned retire list
+  bool overlay_empty() const {
+    return overlay == nullptr ||
+           (overlay->verts.empty() &&
+            overlay->n == base.num_vertices());
+  }
+
+  // The version's full merged CSR, materialized at most once (lazily) and
+  // shared by all pins of this version. O(1) when the overlay is empty —
+  // the base *is* the view.
+  const gbbs::graph<W>& view() const {
+    if (overlay_empty()) return base;
+    std::call_once(merged_once_, [&] { merged_ = overlay->materialize(); });
+    return merged_;
+  }
+
+  // Live vertex/edge counts without materializing.
+  vertex_id num_vertices() const {
+    return overlay == nullptr ? base.num_vertices() : overlay->n;
+  }
+
+ private:
+  mutable std::once_flag merged_once_;
+  mutable gbbs::graph<W> merged_;
 };
 
 template <typename W>
 class snapshot_store;
 
-// RAII pin on one version: the version outlives every pinned_snapshot
-// referring to it. Movable, not copyable.
+// A pinned version: a self-contained shared handle onto one published
+// version's payload. Copy cost O(1); keeps the underlying arrays alive
+// independently of the store (and of the writer). Movable, not copyable —
+// hand out the graph via view() if a query needs to retain it.
 template <typename W>
 class pinned_snapshot {
  public:
   pinned_snapshot() = default;
-  pinned_snapshot(pinned_snapshot&& other) noexcept
-      : node_(std::exchange(other.node_, nullptr)) {}
-  pinned_snapshot& operator=(pinned_snapshot&& other) noexcept {
-    if (this != &other) {
-      release();
-      node_ = std::exchange(other.node_, nullptr);
-    }
-    return *this;
-  }
+  pinned_snapshot(pinned_snapshot&& other) noexcept = default;
+  pinned_snapshot& operator=(pinned_snapshot&& other) noexcept = default;
   pinned_snapshot(const pinned_snapshot&) = delete;
   pinned_snapshot& operator=(const pinned_snapshot&) = delete;
-  ~pinned_snapshot() { release(); }
 
-  explicit operator bool() const { return node_ != nullptr; }
-  std::uint64_t version() const { return node_->version; }
-  const gbbs::graph<W>& view() const { return node_->g; }
-  const std::vector<vertex_id>& components() const {
-    return node_->components;
+  explicit operator bool() const { return payload_ != nullptr; }
+  std::uint64_t version() const { return payload_->version; }
+  std::uint64_t updates_ingested() const {
+    return payload_->updates_ingested;
   }
-  std::uint64_t updates_ingested() const { return node_->updates_ingested; }
 
-  void release() {
-    if (node_ != nullptr) {
-      node_->pins.fetch_sub(1, std::memory_order_release);
-      node_ = nullptr;
-    }
+  // Full merged CSR (lazy, memoized per version — see version_payload).
+  const gbbs::graph<W>& view() const { return payload_->view(); }
+
+  // The version's overlay index, or null when the base is the live view.
+  // Point reads route here to avoid materializing.
+  const overlay_snapshot<W>* overlay() const {
+    return payload_->overlay_empty() ? nullptr : payload_->overlay.get();
   }
+
+  const component_view& components() const { return payload_->components; }
+  vertex_id num_vertices() const { return payload_->num_vertices(); }
+
+  void release() { payload_.reset(); }
 
  private:
   friend class snapshot_store<W>;
-  explicit pinned_snapshot(const graph_version<W>* node) : node_(node) {}
+  explicit pinned_snapshot(std::shared_ptr<const version_payload<W>> p)
+      : payload_(std::move(p)) {}
 
-  const graph_version<W>* node_ = nullptr;
+  std::shared_ptr<const version_payload<W>> payload_;
 };
 
 template <typename W>
@@ -114,27 +152,26 @@ class snapshot_store {
   snapshot_store(const snapshot_store&) = delete;
   snapshot_store& operator=(const snapshot_store&) = delete;
 
+  // Outstanding pinned_snapshots survive destruction (they own their
+  // payloads); only the version nodes die here.
   ~snapshot_store() {
-    graph_version<W>* r = retired_;
+    node* r = retired_;
     while (r != nullptr) {
-      graph_version<W>* next = r->next_retired;
-      assert(r->pins.load() == 0);
+      node* next = r->next_retired;
       delete r;
       r = next;
     }
-    if (graph_version<W>* h = head_.load(std::memory_order_relaxed)) {
-      assert(h->pins.load() == 0);
-      delete h;
-    }
+    delete head_.load(std::memory_order_relaxed);
   }
 
   // ---- reader side -------------------------------------------------------
 
   // Pin the latest published version; null if nothing is published yet.
-  // Lock-free: a bounded scan for a hazard slot plus the handshake above.
+  // Lock-free: a bounded scan for a hazard slot, the handshake above, and
+  // an O(1) copy of the version's payload handle.
   pinned_snapshot<W> pin() const {
     hazard_slot& slot = acquire_slot();
-    const graph_version<W>* p;
+    const node* p;
     for (;;) {
       p = head_.load(std::memory_order_acquire);
       if (p == nullptr) {
@@ -146,40 +183,63 @@ class snapshot_store {
       if (head_.load(std::memory_order_acquire) == p) break;
       slot.ptr.store(nullptr, std::memory_order_release);
     }
-    // The hazard keeps p alive across the increment; after it, the pin does.
-    p->pins.fetch_add(1, std::memory_order_acq_rel);
+    // The hazard keeps p alive across the handle copy; afterwards the pin
+    // owns the payload through the copied shared_ptr.
+    pinned_snapshot<W> snap{p->payload};
     slot.ptr.store(nullptr, std::memory_order_release);
     release_slot(slot);
-    return pinned_snapshot<W>{p};
+    return snap;
   }
 
   std::uint64_t current_version() const {
-    const graph_version<W>* p = head_.load(std::memory_order_acquire);
-    return p == nullptr ? 0 : p->version;
+    return current_version_.load(std::memory_order_acquire);
   }
 
   // ---- writer side (single thread) ---------------------------------------
 
-  // Publish a new version; the previous head is retired and reclaimed once
-  // its last pin drops. Returns the new version number (1-based).
-  std::uint64_t publish(gbbs::graph<W> g, std::vector<vertex_id> components,
+  // Publish a new version: base CSR + optional overlay of deltas relative
+  // to it + connectivity view. All taken by shared handle — O(delta)
+  // total, no array duplication, no merge. The previous head node is
+  // retired and reclaimed once no reader is mid-handshake on it.
+  std::uint64_t publish(gbbs::graph<W> base,
+                        std::shared_ptr<const overlay_snapshot<W>> overlay,
+                        component_view components,
                         std::uint64_t updates_ingested = 0) {
-    auto* node = new graph_version<W>();
-    node->version = ++last_version_;
-    node->g = std::move(g);
-    node->components = std::move(components);
-    node->updates_ingested = updates_ingested;
-    graph_version<W>* old = head_.load(std::memory_order_relaxed);
-    head_.store(node, std::memory_order_release);
+    auto payload = std::make_shared<version_payload<W>>();
+    payload->version = ++last_version_;
+    payload->updates_ingested = updates_ingested;
+    payload->base = std::move(base);
+    payload->overlay = std::move(overlay);
+    payload->components = std::move(components);
+    auto* n = new node();
+    n->payload = std::move(payload);
+    node* old = head_.load(std::memory_order_relaxed);
+    head_.store(n, std::memory_order_release);
+    current_version_.store(last_version_, std::memory_order_release);
     if (old != nullptr) {
       old->next_retired = retired_;
       retired_ = old;
     }
     collect();
-    return node->version;
+    return last_version_;
   }
 
-  // Free retired versions that are neither pinned nor mid-handshake.
+  // Convenience overloads: publish a self-contained CSR (no overlay).
+  std::uint64_t publish(gbbs::graph<W> g, component_view components,
+                        std::uint64_t updates_ingested = 0) {
+    return publish(std::move(g), nullptr, std::move(components),
+                   updates_ingested);
+  }
+  std::uint64_t publish(gbbs::graph<W> g, std::vector<vertex_id> labels,
+                        std::uint64_t updates_ingested = 0) {
+    return publish(std::move(g), nullptr,
+                   component_view::from_labels(std::move(labels)),
+                   updates_ingested);
+  }
+
+  // Free retired version nodes no reader is mid-handshake on. (Pinned
+  // snapshots do not retain nodes — only hazards do, and only for the
+  // instants-long handle-copy window.)
   void collect() {
     if (retired_ == nullptr) return;
     std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -187,36 +247,40 @@ class snapshot_store {
     for (std::size_t i = 0; i < kHazardSlots; ++i) {
       hazards[i] = slots_[i].ptr.load(std::memory_order_acquire);
     }
-    graph_version<W>** link = &retired_;
+    node** link = &retired_;
     while (*link != nullptr) {
-      graph_version<W>* node = *link;
+      node* nd = *link;
       bool hazarded = false;
       for (std::size_t i = 0; i < kHazardSlots; ++i) {
-        if (hazards[i] == node) {
+        if (hazards[i] == nd) {
           hazarded = true;
           break;
         }
       }
-      if (!hazarded && node->pins.load(std::memory_order_acquire) == 0) {
-        *link = node->next_retired;
-        delete node;
+      if (!hazarded) {
+        *link = nd->next_retired;
+        delete nd;
       } else {
-        link = &node->next_retired;
+        link = &nd->next_retired;
       }
     }
   }
 
-  // Published versions still resident (head + retained retired ones).
+  // Version nodes still resident (head + retired ones awaiting collect).
   std::size_t live_versions() const {
     std::size_t count = head_.load(std::memory_order_relaxed) ? 1 : 0;
-    for (const graph_version<W>* r = retired_; r != nullptr;
-         r = r->next_retired) {
+    for (const node* r = retired_; r != nullptr; r = r->next_retired) {
       ++count;
     }
     return count;
   }
 
  private:
+  struct node {
+    std::shared_ptr<const version_payload<W>> payload;
+    node* next_retired = nullptr;  // writer-owned retire list
+  };
+
   static constexpr std::size_t kHazardSlots = 64;
 
   struct alignas(64) hazard_slot {
@@ -250,9 +314,10 @@ class snapshot_store {
     slot.in_use.store(false, std::memory_order_release);
   }
 
-  std::atomic<graph_version<W>*> head_{nullptr};
-  graph_version<W>* retired_ = nullptr;  // writer-owned
-  std::uint64_t last_version_ = 0;       // writer-owned
+  std::atomic<node*> head_{nullptr};
+  std::atomic<std::uint64_t> current_version_{0};
+  node* retired_ = nullptr;        // writer-owned
+  std::uint64_t last_version_ = 0;  // writer-owned
   mutable hazard_slot slots_[kHazardSlots];
 };
 

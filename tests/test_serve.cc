@@ -1,11 +1,18 @@
 // Tests for the concurrent snapshot-serving subsystem (src/serve):
-//   * snapshot_store pin/publish lifecycle and memory reclamation — a
-//     pinned version survives arbitrarily many publish/compact cycles
-//     unchanged and is freed only after its last pin drops;
+//   * snapshot_store pin/publish lifecycle — pins are self-contained
+//     shared handles, so a pinned version survives arbitrarily many
+//     publish/compact cycles unchanged while version *nodes* are
+//     reclaimed eagerly;
 //   * typed query dispatch against a pinned version;
+//   * overlay-served fresh point reads: a read issued after ingest() but
+//     before publish() observes the new edges via the delta-aware path;
+//   * the bounded submit queue (reject and block overflow policies);
 //   * the acceptance check: with ingest and >= 4 reader threads running
 //     simultaneously, every query result equals the result of the same
 //     static algorithm on the snapshot version it was admitted against.
+//
+// Shared-CSR storage lifetime (arrays outliving writer/store, zero-copy
+// publish) is covered in test_shared_csr.cc.
 #include <cstdint>
 #include <future>
 #include <map>
@@ -83,35 +90,39 @@ TEST(SnapshotStore, PinSeesLatestPublished) {
       4, std::vector<uw_edge>{{0, 1, {}}});
   auto g2 = gbbs::build_symmetric_graph<empty_weight>(
       4, std::vector<uw_edge>{{0, 1, {}}, {1, 2, {}}});
-  EXPECT_EQ(store.publish(g1, {0, 0, 2, 3}), 1u);
-  EXPECT_EQ(store.publish(g2, {0, 0, 0, 3}), 2u);
+  EXPECT_EQ(store.publish(g1, std::vector<vertex_id>{0, 0, 2, 3}), 1u);
+  EXPECT_EQ(store.publish(g2, std::vector<vertex_id>{0, 0, 0, 3}), 2u);
   auto snap = store.pin();
   ASSERT_TRUE(snap);
   EXPECT_EQ(snap.version(), 2u);
   EXPECT_EQ(snap.view().num_edges(), 4u);
-  EXPECT_EQ(snap.components()[2], 0u);
-  // v1 had no pins, so publishing v2 reclaimed it.
+  EXPECT_EQ(snap.components().label(2), 0u);
+  // v1's node had no hazard on it, so publishing v2 reclaimed it.
   EXPECT_EQ(store.live_versions(), 1u);
 }
 
-TEST(SnapshotStore, MemoryReleasedOnlyAfterLastPinDrops) {
+// Pins are self-contained shared handles: version nodes are reclaimed
+// eagerly (live_versions collapses to the head), yet a held pin keeps
+// reading its version's data — the arrays outlive the node.
+TEST(SnapshotStore, PinnedDataSurvivesNodeReclamation) {
   snapshot_store<empty_weight> store;
-  auto g = gbbs::build_symmetric_graph<empty_weight>(
+  auto g1 = gbbs::build_symmetric_graph<empty_weight>(
       3, std::vector<uw_edge>{{0, 1, {}}});
-  store.publish(g, {0, 0, 2});
+  auto g2 = gbbs::build_symmetric_graph<empty_weight>(
+      3, std::vector<uw_edge>{{0, 1, {}}, {1, 2, {}}});
+  store.publish(g1, std::vector<vertex_id>{0, 0, 2});
   auto pin_a = store.pin();
-  auto pin_b = store.pin();  // two pins on version 1
-  store.publish(g, {0, 0, 2});
-  store.publish(g, {0, 0, 2});
-  // v1 is retained (pinned); v2 was reclaimed when v3 was published.
-  EXPECT_EQ(store.live_versions(), 2u);
+  store.publish(g2, std::vector<vertex_id>{0, 0, 0});
+  store.publish(g2, std::vector<vertex_id>{0, 0, 0});
+  // Nodes of v1/v2 are gone (no pin-based retention), head remains.
+  EXPECT_EQ(store.live_versions(), 1u);
+  // The pin still owns v1's data outright.
   EXPECT_EQ(pin_a.version(), 1u);
+  EXPECT_EQ(pin_a.view().num_edges(), 2u);
+  EXPECT_EQ(pin_a.view().out_degree(2), 0u);
+  EXPECT_FALSE(pin_a.components().connected(0, 2));
   pin_a.release();
-  store.collect();
-  EXPECT_EQ(store.live_versions(), 2u) << "second pin must keep v1 alive";
-  pin_b.release();
-  store.collect();
-  EXPECT_EQ(store.live_versions(), 1u) << "last pin dropped: v1 reclaimed";
+  EXPECT_EQ(store.live_versions(), 1u);
 }
 
 // The satellite coverage: a pinned snapshot survives subsequent
@@ -151,11 +162,11 @@ TEST(SnapshotManager, PinnedSnapshotSurvivesCompactAndPublishCycles) {
   query q{query_kind::bfs_distance, 0, 31};
   EXPECT_EQ(execute_query(pinned, q).value, 31u);
 
-  const std::size_t live_while_pinned = mgr.store().live_versions();
-  EXPECT_GE(live_while_pinned, 2u);  // the old pinned version + the head
+  // Version nodes are reclaimed eagerly: only the head is resident even
+  // while the old version stays pinned (the pin owns its data directly).
+  EXPECT_EQ(mgr.store().live_versions(), 1u);
   pinned.release();
   mgr.store().collect();
-  EXPECT_LT(mgr.store().live_versions(), live_while_pinned);
   EXPECT_EQ(mgr.store().live_versions(), 1u);
 }
 
@@ -217,7 +228,153 @@ TEST(QueryEngine, SubmitAfterStopResolvesImmediately) {
   query_engine<empty_weight> engine(mgr.store(), 2);
   engine.stop();
   auto f = engine.submit({query_kind::degree, 0, 0});
-  EXPECT_EQ(f.get().version, 0u);  // rejected: default result, never stuck
+  auto r = f.get();  // never stuck
+  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.version, 0u);
+  EXPECT_EQ(engine.dropped(), 1u);
+}
+
+// ---- overlay-served fresh point reads -------------------------------------
+//
+// The acceptance bullet: a point read issued after ingest() but *before*
+// publish() observes the new edge via the delta-aware path, while the
+// pinned (published) version still shows the old state.
+
+TEST(OverlayView, PointReadsSeeUnpublishedIngest) {
+  snapshot_manager<empty_weight> mgr(8);  // publishes v1 = empty graph
+  mgr.ingest(inserts({{0, 1, {}}, {1, 2, {}}}));
+  // No publish: the published head is still the empty graph...
+  auto snap = mgr.pin();
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap.view().num_edges(), 0u);
+  EXPECT_EQ(execute_query(snap, {query_kind::degree, 1, 0}).value, 0u);
+
+  // ...but the overlay index already serves the ingested edges.
+  auto idx = mgr.overlay().read();
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->epoch, mgr.updates_ingested());
+  EXPECT_EQ(idx->degree(1), 2u);
+  EXPECT_EQ(idx->neighbors(1), (std::vector<vertex_id>{0, 2}));
+  EXPECT_TRUE(idx->contains_edge(0, 1));
+  EXPECT_FALSE(idx->contains_edge(0, 2));
+  EXPECT_TRUE(idx->cc.connected(0, 2));
+  EXPECT_FALSE(idx->cc.connected(0, 3));
+
+  auto fresh = execute_point_query(*idx, {query_kind::degree, 1, 0});
+  EXPECT_EQ(fresh.value, 2u);
+  EXPECT_GT(fresh.epoch, 0u);
+
+  // After publish, the pinned path catches up and the two paths agree.
+  mgr.publish();
+  auto snap2 = mgr.pin();
+  EXPECT_EQ(execute_query(snap2, {query_kind::degree, 1, 0}).value, 2u);
+}
+
+TEST(OverlayView, EngineRoutesPointReadsToFreshPath) {
+  snapshot_manager<empty_weight> mgr(8);
+  query_engine<empty_weight> engine(mgr.store(), &mgr.overlay(), 2);
+  mgr.ingest(inserts({{2, 3, {}}}));
+  // Unpublished edge, visible through the engine's fresh path.
+  auto fd = engine.submit({query_kind::degree, 2, 0});
+  auto fn = engine.submit({query_kind::neighbors, 2, 0});
+  auto fc = engine.submit({query_kind::connected, 2, 3});
+  EXPECT_EQ(fd.get().value, 1u);
+  EXPECT_EQ(fn.get().list, (std::vector<vertex_id>{3}));
+  EXPECT_EQ(fc.get().value, 1u);
+  // Non-point reads still execute against the published (empty) version.
+  auto fb = engine.submit({query_kind::bfs_distance, 2, 3});
+  EXPECT_EQ(fb.get().value, gbbs::kInfDist);
+}
+
+// Overlay reads stay correct across erases and across publish-point
+// compaction handing the overlay off to a fresh shared base.
+TEST(OverlayView, TracksErasesAndCompaction) {
+  // threshold 0: publish compacts eagerly, so each publish folds the
+  // overlay into a fresh shared base.
+  snapshot_manager<empty_weight> mgr(6, /*compact_threshold=*/0.0);
+  mgr.ingest(inserts({{0, 1, {}}, {1, 2, {}}, {3, 4, {}}}));
+  mgr.publish();
+  mgr.ingest({{1, 2, {}, gbbs::dynamic::update_op::erase}});
+  auto idx = mgr.overlay().read();
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->degree(1), 1u);
+  EXPECT_FALSE(idx->contains_edge(1, 2));
+  EXPECT_EQ(idx->neighbors(1), (std::vector<vertex_id>{0}));
+  // Erase triggered a connectivity rebuild + re-anchor; cc is exact.
+  EXPECT_FALSE(idx->cc.connected(0, 2));
+  EXPECT_TRUE(idx->cc.connected(3, 4));
+
+  // Publish folds the overlay into a fresh shared base; the refreshed
+  // index rebuilds against it and keeps answering.
+  mgr.publish();
+  auto idx2 = mgr.overlay().read();
+  EXPECT_EQ(idx2->verts.size(), 0u);
+  EXPECT_EQ(idx2->degree(1), 1u);
+  EXPECT_EQ(idx2->neighbors(0), (std::vector<vertex_id>{1}));
+}
+
+// ---- bounded submit queue -------------------------------------------------
+
+TEST(QueryEngine, BoundedQueueRejectPolicyDropsAndCounts) {
+  // One reader kept busy by BFS queries over a long path graph; a tiny
+  // queue in reject mode must drop most of a large burst.
+  const vertex_id n = 1u << 15;
+  std::vector<uw_edge> path;
+  path.reserve(n - 1);
+  for (vertex_id v = 0; v + 1 < n; ++v) path.push_back({v, v + 1, {}});
+  snapshot_manager<empty_weight> mgr(n);
+  mgr.ingest(inserts(path));
+  mgr.publish();
+
+  gbbs::serve::query_engine_options opts;
+  opts.max_queue = 4;
+  opts.on_overflow = gbbs::serve::query_engine_options::overflow_policy::reject;
+  query_engine<empty_weight> engine(mgr.store(), 1, opts);
+
+  std::vector<std::future<query_result>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(engine.submit({query_kind::bfs_distance, 0, n - 1}));
+  }
+  std::size_t rejected = 0, served = 0;
+  for (auto& f : futs) {
+    auto r = f.get();  // every future resolves, dropped or not
+    if (r.rejected) {
+      ++rejected;
+    } else {
+      ++served;
+      EXPECT_EQ(r.value, n - 1);
+    }
+  }
+  EXPECT_EQ(rejected, engine.dropped());
+  EXPECT_EQ(rejected + served, 64u);
+  EXPECT_GT(rejected, 0u) << "a 64-burst into a 4-slot queue must drop";
+  engine.drain();
+  EXPECT_EQ(engine.completed(), served);
+}
+
+TEST(QueryEngine, BoundedQueueBlockPolicyServesEverything) {
+  std::vector<uw_edge> edges{{0, 1, {}}, {1, 2, {}}};
+  snapshot_manager<empty_weight> mgr(4);
+  mgr.ingest(inserts(edges));
+  mgr.publish();
+
+  gbbs::serve::query_engine_options opts;
+  opts.max_queue = 2;
+  opts.on_overflow = gbbs::serve::query_engine_options::overflow_policy::block;
+  query_engine<empty_weight> engine(mgr.store(), 1, opts);
+
+  std::vector<std::future<query_result>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(engine.submit({query_kind::degree, 1, 0}));
+  }
+  for (auto& f : futs) {
+    auto r = f.get();
+    EXPECT_FALSE(r.rejected);
+    EXPECT_EQ(r.value, 2u);
+  }
+  EXPECT_EQ(engine.dropped(), 0u);
+  engine.drain();
+  EXPECT_EQ(engine.completed(), 32u);
 }
 
 // ---- the acceptance test: consistency under concurrency -------------------
@@ -267,8 +424,9 @@ TEST(Serve, ConsistencyUnderConcurrentIngest) {
         }
         EXPECT_EQ(degree_sum, g.num_edges()) << "torn CSR in version "
                                              << snap.version();
-        EXPECT_TRUE(
-            gbbs::same_partition(snap.components(), gbbs::connectivity(g)))
+        EXPECT_TRUE(gbbs::same_partition(
+            snap.components().materialize(g.num_vertices()),
+            gbbs::connectivity(g)))
             << "stale/torn components in version " << snap.version();
       } while (!ingest_done.load(std::memory_order_acquire));
     };
@@ -359,7 +517,7 @@ TEST(Serve, ConsistencyUnderConcurrentIngest) {
           break;
         }
         case query_kind::component:
-          EXPECT_EQ(r.value, snap.components()[q.u]);
+          EXPECT_EQ(r.value, snap.components().label(q.u));
           break;
         case query_kind::bfs_distance:
           EXPECT_EQ(r.value, gbbs::bfs(g, q.u)[q.v])
@@ -390,9 +548,10 @@ TEST(Serve, ConsistencyUnderConcurrentIngest) {
     }
   }
 
-  // Drop every pin: the whole retired chain must be reclaimable.
-  const std::size_t live_before = mgr.store().live_versions();
-  EXPECT_EQ(live_before, retained.size());
+  // Version nodes were reclaimed eagerly all along — the retained pins
+  // own their data directly, independent of the store's node list.
+  EXPECT_EQ(mgr.store().live_versions(), 1u);
+  EXPECT_EQ(retained.front().view().num_edges(), 0u);  // v1: empty graph
   retained.clear();
   mgr.store().collect();
   EXPECT_EQ(mgr.store().live_versions(), 1u);

@@ -13,6 +13,8 @@
 //                     batch * f / (1 - f)
 //   -heavy            include whole-graph analytics (kcore/triangles) in
 //                     the query mix
+//   -no-fresh         disable the overlay fresh path: point reads execute
+//                     against pinned published versions only
 //   -verify           after the trace: check the final version's CSR edge
 //                     count and its connectivity labels against the static
 //                     connectivity() of the final snapshot.
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   std::size_t readers = 4;
   double read_ratio = 0.5;
   bool heavy = false;
+  bool fresh = true;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
       read_ratio = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-heavy")) {
       heavy = true;
+    } else if (!std::strcmp(argv[i], "-no-fresh")) {
+      fresh = false;
     }
   }
   if (batch_size == 0) batch_size = 1;
@@ -77,7 +82,8 @@ int main(int argc, char** argv) {
     std::size_t updates = 0, batches = 0, qi = 0;
     double wall = 0;
     {
-      gbbs::serve::query_engine<empty_weight> engine(mgr.store(), readers);
+      gbbs::serve::query_engine<empty_weight> engine(
+          mgr.store(), fresh ? &mgr.overlay() : nullptr, readers);
       wall = bench::time_once([&] {
         while (!stream.done()) {
           auto raw = stream.next_inserts(batch_size);
@@ -115,8 +121,9 @@ int main(int argc, char** argv) {
     if (o.verify) {
       auto snap = mgr.pin();
       bool ok = snap && snap.view().num_edges() == 2 * stream_edges.size();
-      ok = ok && gbbs::same_partition(snap.components(),
-                                      gbbs::connectivity(snap.view()));
+      ok = ok && gbbs::same_partition(
+                     snap.components().materialize(snap.num_vertices()),
+                     gbbs::connectivity(snap.view()));
       tools::report_verification("serve", ok);
     }
     return std::string(buf);
