@@ -14,6 +14,7 @@
 //
 // -json <path> emits the whole run as machine-readable rows (tracked as
 // BENCH_serve.json across PRs).
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <future>
@@ -33,12 +34,17 @@ using gbbs::empty_weight;
 using gbbs::vertex_id;
 using gbbs::serve::query_result;
 
+using engine_kind_stats = std::array<
+    gbbs::serve::query_engine<empty_weight>::kind_stats,
+    gbbs::serve::kNumQueryKinds>;
+
 struct serve_result {
   double writer_s = 0;   // wall time of the ingest+publish loop
   double wall_s = 0;     // wall time of the whole run (ingest + drain)
   std::size_t queries = 0;
   bench::sample_stats latency;
   bench::sample_stats publish_latency;
+  engine_kind_stats kinds{};  // per-query-kind latency accounting
 };
 
 serve_result run_config(const std::vector<gbbs::edge<empty_weight>>& edges,
@@ -81,6 +87,7 @@ serve_result run_config(const std::vector<gbbs::edge<empty_weight>>& edges,
     }
     writer.join();
     engine.drain();
+    res.kinds = engine.latency_by_kind();
   });
   res.queries = latencies.size();
   res.latency = bench::summarize(std::move(latencies));
@@ -180,6 +187,24 @@ int main(int argc, char** argv) {
                                 r.publish_latency.p50 * 1e3)
                          .field("publish_p99_ms",
                                 r.publish_latency.p99 * 1e3));
+      // Per-kind latency rows: the SLO-accounting numbers the CI smoke
+      // step watches for per-kind regressions.
+      for (std::size_t k = 0; k < gbbs::serve::kNumQueryKinds; ++k) {
+        const auto& ks = r.kinds[k];
+        if (ks.count == 0) continue;
+        rows.push_back(
+            bench::json_record()
+                .field("section", std::string("kind_latency"))
+                .field("batch", batch_size)
+                .field("readers", readers)
+                .field("kind",
+                       std::string(gbbs::serve::query_kind_name(
+                           static_cast<gbbs::serve::query_kind>(k))))
+                .field("count", static_cast<std::uint64_t>(ks.count))
+                .field("p50_ms", ks.p50_s * 1e3)
+                .field("p99_ms", ks.p99_s * 1e3)
+                .field("max_ms", ks.max_s * 1e3));
+      }
     }
   }
 

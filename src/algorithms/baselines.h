@@ -25,7 +25,7 @@ std::vector<vertex_id> connectivity_union_find(const Graph& g) {
   parlib::union_find uf(n);
   parlib::parallel_for(0, n, [&](std::size_t vi) {
     const auto v = static_cast<vertex_id>(vi);
-    g.map_out(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors(v, [&](vertex_id, vertex_id u, auto) {
       if (u < v) uf.unite(v, u);
     });
   });

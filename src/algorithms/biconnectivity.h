@@ -164,7 +164,7 @@ biconnectivity_result biconnectivity(const Graph& g) {
   parlib::parallel_for(0, n, [&](std::size_t vi) {
     const auto v = static_cast<vertex_id>(vi);
     std::uint64_t lo = pre[v], hi = pre[v];
-    g.decode_out_break(v, [&](vertex_id, vertex_id w, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id w, auto) {
       const bool tree_edge = parents[v] == w || parents[w] == v;
       if (!tree_edge) {
         lo = std::min(lo, pre[w]);

@@ -93,7 +93,7 @@ std::vector<vertex_id> color_graph(const Graph& g,
     // Smallest color not used by any neighbor: deg+1 candidates suffice.
     const std::size_t deg = g.out_degree(v);
     std::vector<std::uint8_t> used(deg + 1, 0);
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       const vertex_id c = color[u];
       if (c != kNoVertex && c <= deg) used[c] = 1;
       return true;
@@ -139,7 +139,7 @@ void async_activate(const Graph& g, vertex_id v, const order& ord,
   assign_color(v);
   // Collect neighbors that become ready when we decrement them.
   std::vector<vertex_id> ready;
-  g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+  g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
     if (ord.before(v, u) &&
         parlib::fetch_and_add<std::int64_t>(&priority[u], -1) == 1) {
       ready.push_back(u);
@@ -188,7 +188,7 @@ std::vector<vertex_id> color_graph_async(const Graph& g,
   auto assign_color = [&](vertex_id v) {
     const std::size_t deg = g.out_degree(v);
     std::vector<std::uint8_t> used(deg + 1, 0);
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       const vertex_id c = parlib::atomic_load(&color[u]);
       if (c != kNoVertex && c <= deg) used[c] = 1;
       return true;

@@ -76,7 +76,7 @@ kcore_result kcore(const Graph& g,
       std::vector<std::pair<vertex_id, std::uint64_t>> pairs(total);
       parlib::parallel_for(0, ids.size(), [&](std::size_t i) {
         std::size_t off = per_vertex[i];
-        g.decode_out_break(ids[i], [&](vertex_id, vertex_id u, auto) {
+        g.map_out_neighbors_early_exit(ids[i], [&](vertex_id, vertex_id u, auto) {
           pairs[off++] = {u, 1};
           return true;
         });
@@ -104,7 +104,7 @@ kcore_result kcore(const Graph& g,
       std::vector<std::uint8_t> touched(n, 0);
       std::uint64_t edges_removed = 0;
       parlib::parallel_for(0, ids.size(), [&](std::size_t i) {
-        g.map_out(ids[i], [&](vertex_id, vertex_id u, auto) {
+        g.map_out_neighbors(ids[i], [&](vertex_id, vertex_id u, auto) {
           if (!finished[u]) {
             parlib::fetch_and_add<vertex_id>(&deg[u], vertex_id(-1));
             if (!touched[u]) parlib::test_and_set(&touched[u]);

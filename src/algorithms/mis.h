@@ -137,7 +137,7 @@ std::vector<std::uint8_t> mis_prefix(const Graph& g,
         if (status[v] != 0) return;
         bool all_earlier_decided = true;
         bool has_mis_neighbor = false;
-        g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+        g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
           if (status[u] == 1) {
             has_mis_neighbor = true;
             return false;

@@ -111,9 +111,9 @@ parlib::reachability_table multi_search(
             if (any && !next_flag[v]) parlib::test_and_set(&next_flag[v]);
           };
           if constexpr (Forward) {
-            g.map_out(u, visit, /*par=*/false);
+            g.map_out_neighbors(u, visit, /*par=*/false);
           } else {
-            g.map_in(u, visit, /*par=*/false);
+            g.map_in_neighbors(u, visit, /*par=*/false);
           }
         },
         1);
@@ -153,7 +153,7 @@ scc_result scc(const Graph& g, scc_options opts = {}) {
                 v, [&](vertex_id, vertex_id u, auto) { return !done[u]; });
             if (live_out == 0) return true;
             std::size_t live_in = 0;
-            g.decode_in_break(v, [&](vertex_id, vertex_id u, auto) {
+            g.map_in_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
               if (!done[u]) {
                 ++live_in;
                 return false;  // one is enough
@@ -194,9 +194,9 @@ scc_result scc(const Graph& g, scc_options opts = {}) {
               }
             };
             if (forward) {
-              g.map_out(frontier[i], visit, false);
+              g.map_out_neighbors(frontier[i], visit, false);
             } else {
-              g.map_in(frontier[i], visit, false);
+              g.map_in_neighbors(frontier[i], visit, false);
             }
           });
           frontier = parlib::pack_index<vertex_id>(next);

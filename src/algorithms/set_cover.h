@@ -115,7 +115,7 @@ set_cover_result set_cover(Graph g, vertex_id num_sets,
       });
     }
     parlib::parallel_for(0, sc.size(), [&](std::size_t i) {
-      g.map_out(sc[i], [&](vertex_id, vertex_id e, auto) {
+      g.map_out_neighbors(sc[i], [&](vertex_id, vertex_id e, auto) {
         parlib::write_min(&elt_winner[e], pri[i]);
       });
     });
@@ -132,13 +132,13 @@ set_cover_result set_cover(Graph g, vertex_id num_sets,
       if (!won[i]) return;
       in_cover[sc[i]] = 1;
       set_bucket[sc[i]] = kNullBucket;  // done
-      g.map_out(sc[i], [&](vertex_id, vertex_id e, auto) {
+      g.map_out_neighbors(sc[i], [&](vertex_id, vertex_id e, auto) {
         if (elt_winner[e] == pri[i]) covered[e] = 1;
       });
     });
     // Reset priority slots of elements that stayed uncovered.
     parlib::parallel_for(0, sc.size(), [&](std::size_t i) {
-      g.map_out(sc[i], [&](vertex_id, vertex_id e, auto) {
+      g.map_out_neighbors(sc[i], [&](vertex_id, vertex_id e, auto) {
         if (!covered[e]) elt_winner[e] = kNoWinner;
       });
     });

@@ -82,7 +82,7 @@ graph_statistics compute_statistics(const Graph& g) {
     // Count distinct edge labels.
     std::unordered_map<vertex_id, std::size_t> comps;
     for (vertex_id v = 0; v < g.num_vertices(); ++v) {
-      g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+      g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
         if (v < u) comps[bi.edge_label(v, u)]++;
         return true;
       });

@@ -30,7 +30,7 @@ std::uint64_t triangle_count(const Graph& g) {
   auto per_vertex = parlib::tabulate<std::uint64_t>(n, [&](std::size_t vi) {
     const auto v = static_cast<vertex_id>(vi);
     std::uint64_t count = 0;
-    dag.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    dag.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       count += dag.intersect_out(v, u);
       return true;
     });

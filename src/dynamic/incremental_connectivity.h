@@ -97,7 +97,7 @@ class incremental_connectivity {
     const std::size_t n = g.num_vertices();
     uf_ = parlib::union_find(n);
     parlib::parallel_for(0, n, [&](std::size_t u) {
-      g.map_out(static_cast<vertex_id>(u),
+      g.map_out_neighbors(static_cast<vertex_id>(u),
                 [&](vertex_id a, vertex_id b, W) { uf_.unite(a, b); });
     });
     auto is_root = parlib::tabulate<std::size_t>(n, [&](std::size_t v) {

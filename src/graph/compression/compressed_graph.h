@@ -225,25 +225,25 @@ class compressed_graph {
   }
 
   template <typename F>
-  void map_out(vertex_id v, const F& f, bool par = true) const {
+  void map_out_neighbors(vertex_id v, const F& f, bool par = true) const {
     map_side(out_, v, f, par);
   }
   template <typename F>
-  void map_in(vertex_id v, const F& f, bool par = true) const {
+  void map_in_neighbors(vertex_id v, const F& f, bool par = true) const {
     map_side(symmetric_ ? out_ : in_, v, f, par);
   }
 
   template <typename F>
-  void decode_out_break(vertex_id v, const F& f) const {
+  void map_out_neighbors_early_exit(vertex_id v, const F& f) const {
     decode_break_side(out_, v, f);
   }
   template <typename F>
-  void decode_in_break(vertex_id v, const F& f) const {
+  void map_in_neighbors_early_exit(vertex_id v, const F& f) const {
     decode_break_side(symmetric_ ? out_ : in_, v, f);
   }
 
   template <typename F>
-  void map_out_range(vertex_id v, std::size_t j_lo, std::size_t j_hi,
+  void map_out_neighbors_range(vertex_id v, std::size_t j_lo, std::size_t j_hi,
                      const F& f) const {
     const vertex_id deg = out_.degree(v);
     j_hi = std::min<std::size_t>(j_hi, deg);
@@ -265,7 +265,7 @@ class compressed_graph {
   typename M::value_type reduce_out(vertex_id v, const F& f,
                                     const M& monoid) const {
     typename M::value_type acc = monoid.identity;
-    decode_out_break(v, [&](vertex_id src, vertex_id ngh, W w) {
+    map_out_neighbors_early_exit(v, [&](vertex_id src, vertex_id ngh, W w) {
       acc = monoid.combine(acc, f(src, ngh, w));
       return true;
     });
@@ -275,7 +275,7 @@ class compressed_graph {
   template <typename F>
   std::size_t count_out(vertex_id v, const F& pred) const {
     std::size_t c = 0;
-    decode_out_break(v, [&](vertex_id src, vertex_id ngh, W w) {
+    map_out_neighbors_early_exit(v, [&](vertex_id src, vertex_id ngh, W w) {
       c += pred(src, ngh, w) ? 1 : 0;
       return true;
     });
@@ -309,7 +309,7 @@ class compressed_graph {
     std::vector<edge<W>> out(total);
     parlib::parallel_for(0, n_, [&](std::size_t v) {
       std::size_t k = degs[v];
-      decode_out_break(static_cast<vertex_id>(v),
+      map_out_neighbors_early_exit(static_cast<vertex_id>(v),
                        [&](vertex_id src, vertex_id ngh, W w) {
                          out[k++] = {src, ngh, w};
                          return true;
@@ -369,7 +369,7 @@ class compressed_graph {
       }
       parlib::parallel_for(0, n_, [&](std::size_t v) {
         std::size_t k = offsets[v];
-        decode_out_break(static_cast<vertex_id>(v),
+        map_out_neighbors_early_exit(static_cast<vertex_id>(v),
                          [&](vertex_id, vertex_id ngh, W w) {
                            nghs[k] = ngh;
                            if constexpr (compression_internal::is_weighted<
@@ -436,7 +436,7 @@ class compressed_graph {
   std::vector<std::pair<vertex_id, W>> collect_filtered(
       vertex_id v, const F& pred) const {
     std::vector<std::pair<vertex_id, W>> kept;
-    decode_out_break(v, [&](vertex_id src, vertex_id ngh, W w) {
+    map_out_neighbors_early_exit(v, [&](vertex_id src, vertex_id ngh, W w) {
       if (pred(src, ngh, w)) kept.emplace_back(ngh, w);
       return true;
     });
@@ -535,4 +535,13 @@ compressed_graph<W, Codec> filter_graph(const compressed_graph<W, Codec>& g,
   return g.filter(pred);
 }
 
+}  // namespace gbbs
+
+#include "graph/graph_view.h"
+
+namespace gbbs {
+// The compressed CSR models the same traversal concept as the plain one.
+static_assert(graph_view<compressed_graph<empty_weight>>);
+static_assert(graph_view<compressed_graph<std::uint32_t>>);
+static_assert(graph_view<nibble_compressed_graph<empty_weight>>);
 }  // namespace gbbs

@@ -73,7 +73,7 @@ contraction_result contract(const Graph& g,
       keep_representatives ? std::max<std::uint64_t>(inter_total, 1) : 1);
   parlib::parallel_for(0, n, [&](std::size_t vi) {
     const auto v = static_cast<vertex_id>(vi);
-    g.map_out(v, [&](vertex_id u, vertex_id ngh, auto) {
+    g.map_out_neighbors(v, [&](vertex_id u, vertex_id ngh, auto) {
       const vertex_id lu = cluster_to_vertex[labels[u]];
       const vertex_id lv = cluster_to_vertex[labels[ngh]];
       if (lu != lv) {

@@ -1,6 +1,14 @@
 // edgeMap (Section 3) with Ligra's direction optimization and the
 // cache-friendly blocked sparse traversal of Section B (Algorithm 15).
 //
+// Every traversal here is written against the graph_view concept
+// (graph_view.h), not the concrete CSR: any model — static CSR, compressed
+// CSR, the live batch-dynamic graph, or the serving layer's overlay-fused
+// dynamic_view — drives the same four modes. The direction threshold uses
+// the view's *live* num_edges(), which for delta-overlaid models includes
+// overlay inserts and excludes erases (a base-only count would skew the
+// dense/sparse switch as the overlay grows).
+//
 // The functor F supplies:
 //   bool update(u, v, w)        — applied in dense mode (one writer per v);
 //   bool update_atomic(u, v, w) — applied in sparse mode (concurrent);
@@ -31,6 +39,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_view.h"
 #include "graph/vertex_subset.h"
 #include "parlib/atomics.h"
 #include "parlib/counters.h"
@@ -58,7 +67,7 @@ namespace internal {
 
 inline constexpr std::size_t kEdgeMapBlock = 4096;
 
-template <typename Graph>
+template <graph_view Graph>
 std::uint64_t frontier_degree_sum(const Graph& g, const vertex_subset& vs) {
   if (vs.is_dense()) {
     const auto& d = vs.dense();
@@ -76,7 +85,7 @@ std::uint64_t frontier_degree_sum(const Graph& g, const vertex_subset& vs) {
 
 // Dense traversal: for every v with cond(v), scan in-neighbors u; apply
 // update(u, v, w) for u in the frontier; stop once cond(v) is false.
-template <typename Graph, typename F>
+template <graph_view Graph, typename F>
 vertex_subset edge_map_dense(const Graph& g, vertex_subset& frontier, F& f) {
   frontier.to_dense();
   const auto& in_frontier = frontier.dense();
@@ -85,7 +94,7 @@ vertex_subset edge_map_dense(const Graph& g, vertex_subset& frontier, F& f) {
   parlib::parallel_for(0, n, [&](std::size_t vi) {
     const auto v = static_cast<vertex_id>(vi);
     if (!f.cond(v)) return;
-    g.decode_in_break(v, [&](vertex_id dst, vertex_id u, auto w) {
+    g.map_in_neighbors_early_exit(v, [&](vertex_id dst, vertex_id u, auto w) {
       if (in_frontier[u] && f.update(u, dst, w)) next[dst] = 1;
       return f.cond(dst);
     });
@@ -95,7 +104,7 @@ vertex_subset edge_map_dense(const Graph& g, vertex_subset& frontier, F& f) {
 
 // Dense-forward traversal (Ligra): parallel over frontier members (read
 // from the dense bitmap), scanning their out-edges with the atomic update.
-template <typename Graph, typename F>
+template <graph_view Graph, typename F>
 vertex_subset edge_map_dense_forward(const Graph& g, vertex_subset& frontier,
                                      F& f) {
   frontier.to_dense();
@@ -105,7 +114,7 @@ vertex_subset edge_map_dense_forward(const Graph& g, vertex_subset& frontier,
   parlib::parallel_for(0, n, [&](std::size_t ui) {
     if (!in_frontier[ui]) return;
     const auto u = static_cast<vertex_id>(ui);
-    g.map_out(u, [&](vertex_id, vertex_id v, auto w) {
+    g.map_out_neighbors(u, [&](vertex_id, vertex_id v, auto w) {
       if (f.cond(v) && f.update_atomic(u, v, w)) {
         if (!next[v]) parlib::test_and_set(&next[v]);
       }
@@ -116,7 +125,7 @@ vertex_subset edge_map_dense_forward(const Graph& g, vertex_subset& frontier,
 
 // edgeMapSparse: writes one slot per incident edge, then filters out the
 // non-live ones.
-template <typename Graph, typename F>
+template <graph_view Graph, typename F>
 vertex_subset edge_map_sparse(const Graph& g, vertex_subset& frontier, F& f) {
   frontier.to_sparse();
   const auto& ids = frontier.sparse();
@@ -128,7 +137,7 @@ vertex_subset edge_map_sparse(const Graph& g, vertex_subset& frontier, F& f) {
   parlib::parallel_for(0, ids.size(), [&](std::size_t i) {
     const vertex_id u = ids[i];
     std::uint64_t k = offsets[i];
-    g.map_out_range(u, 0, g.out_degree(u),
+    g.map_out_neighbors_range(u, 0, g.out_degree(u),
                     [&](vertex_id, vertex_id v, auto w) {
                       out[k] = (f.cond(v) && f.update_atomic(u, v, w))
                                    ? v
@@ -144,7 +153,7 @@ vertex_subset edge_map_sparse(const Graph& g, vertex_subset& frontier, F& f) {
 }
 
 // edgeMapBlocked (Algorithm 15).
-template <typename Graph, typename F>
+template <graph_view Graph, typename F>
 vertex_subset edge_map_blocked(const Graph& g, vertex_subset& frontier,
                                F& f) {
   frontier.to_sparse();
@@ -184,7 +193,7 @@ vertex_subset edge_map_blocked(const Graph& g, vertex_subset& frontier,
               v_start + g.out_degree(u);
           const std::uint64_t lo = e - v_start;
           const std::uint64_t hi = std::min(edge_hi, v_end) - v_start;
-          g.map_out_range(u, lo, hi, [&](vertex_id, vertex_id v, auto w) {
+          g.map_out_neighbors_range(u, lo, hi, [&](vertex_id, vertex_id v, auto w) {
             if (f.cond(v) && f.update_atomic(u, v, w)) {
               scratch[out_k++] = v;
             }
@@ -211,7 +220,7 @@ vertex_subset edge_map_blocked(const Graph& g, vertex_subset& frontier,
 
 }  // namespace internal
 
-template <typename Graph, typename F>
+template <graph_view Graph, typename F>
 vertex_subset edge_map(const Graph& g, vertex_subset& frontier, F f,
                        edge_map_options opts = {}) {
   if (frontier.empty()) return vertex_subset(g.num_vertices());
@@ -234,7 +243,7 @@ vertex_subset edge_map(const Graph& g, vertex_subset& frontier, F f,
 // (vertex, D) pairs. Used by wBFS to ship (vertex, new-bucket) pairs.
 // use_blocked=false selects the unblocked edgeMapSparse-style traversal
 // (one slot written per incident edge) — the Table 6 baseline.
-template <typename D, typename Graph, typename F>
+template <typename D, graph_view Graph, typename F>
 vertex_subset_data<D> edge_map_data(const Graph& g, vertex_subset& frontier,
                                     F f, bool use_blocked = true) {
   using KV = std::pair<vertex_id, D>;
@@ -250,7 +259,7 @@ vertex_subset_data<D> edge_map_data(const Graph& g, vertex_subset& frontier,
     parlib::parallel_for(0, sids.size(), [&](std::size_t i) {
       const vertex_id u = sids[i];
       std::uint64_t k = soffsets[i];
-      g.map_out_range(u, 0, g.out_degree(u),
+      g.map_out_neighbors_range(u, 0, g.out_degree(u),
                       [&](vertex_id, vertex_id v, auto w) {
                         if (f.cond(v)) {
                           if (std::optional<D> r = f.update_atomic(u, v, w)) {
@@ -301,7 +310,7 @@ vertex_subset_data<D> edge_map_data(const Graph& g, vertex_subset& frontier,
           const std::uint64_t v_end = v_start + g.out_degree(u);
           const std::uint64_t lo = e - v_start;
           const std::uint64_t hi = std::min(edge_hi, v_end) - v_start;
-          g.map_out_range(u, lo, hi, [&](vertex_id, vertex_id v, auto w) {
+          g.map_out_neighbors_range(u, lo, hi, [&](vertex_id, vertex_id v, auto w) {
             if (f.cond(v)) {
               if (std::optional<D> r = f.update_atomic(u, v, w)) {
                 scratch[out_k++] = {v, *r};

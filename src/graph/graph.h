@@ -143,7 +143,7 @@ class graph {
 
   // f(v, ngh, w) over out-neighbors; parallel for high degrees.
   template <typename F>
-  void map_out(vertex_id v, const F& f, bool par = true) const {
+  void map_out_neighbors(vertex_id v, const F& f, bool par = true) const {
     const auto nghs = out_neighbors(v);
     const auto base = s_->out_offsets[v];
     auto body = [&](std::size_t j) { f(v, nghs[j], weight_at(base, j)); };
@@ -155,9 +155,9 @@ class graph {
   }
 
   template <typename F>
-  void map_in(vertex_id v, const F& f, bool par = true) const {
+  void map_in_neighbors(vertex_id v, const F& f, bool par = true) const {
     if (symmetric_) {
-      map_out(v, f, par);
+      map_out_neighbors(v, f, par);
       return;
     }
     const auto nghs = in_neighbors(v);
@@ -175,7 +175,7 @@ class graph {
   // Sequential decode with early exit: f returns false to stop. Used by the
   // optimized dense edgeMap (Section 3).
   template <typename F>
-  void decode_out_break(vertex_id v, const F& f) const {
+  void map_out_neighbors_early_exit(vertex_id v, const F& f) const {
     const auto nghs = out_neighbors(v);
     const auto base = s_->out_offsets[v];
     for (std::size_t j = 0; j < nghs.size(); ++j) {
@@ -184,9 +184,9 @@ class graph {
   }
 
   template <typename F>
-  void decode_in_break(vertex_id v, const F& f) const {
+  void map_in_neighbors_early_exit(vertex_id v, const F& f) const {
     if (symmetric_) {
-      decode_out_break(v, f);
+      map_out_neighbors_early_exit(v, f);
       return;
     }
     const auto nghs = in_neighbors(v);
@@ -199,7 +199,7 @@ class graph {
   // f over out-neighbor positions [j_lo, j_hi) — the random access the
   // blocked edgeMap needs (Algorithm 15).
   template <typename F>
-  void map_out_range(vertex_id v, std::size_t j_lo, std::size_t j_hi,
+  void map_out_neighbors_range(vertex_id v, std::size_t j_lo, std::size_t j_hi,
                      const F& f) const {
     const auto nghs = out_neighbors(v);
     const auto base = s_->out_offsets[v];

@@ -141,12 +141,16 @@ graph<W> build_asymmetric_graph(vertex_id n, std::vector<edge<W>> edges) {
                   std::move(in_ngh), std::move(in_w));
 }
 
-// Keep edges (u, ngh, w) with pred(u, ngh, w); returns a graph of the same
-// shape. This is the rebuild form of Ligra+'s pack (Section B) — used to
-// direct graphs by degree for triangle counting and to drop matched /
-// shortcut edges in MM and MSF.
+// Keep edges (u, ngh, w) with pred(u, ngh, w); returns a static CSR graph.
+// This is the rebuild form of Ligra+'s pack (Section B) — used to direct
+// graphs by degree for triangle counting and to drop matched / shortcut
+// edges in MM and MSF. The source may be any graph_view model (a live
+// dynamic graph or an overlay-fused serving view included): filtering
+// reads only out-neighborhoods, so e.g. triangle counting on a dynamic
+// view builds its rank-directed DAG straight from base ⊕ overlay without
+// ever materializing the merged CSR.
 template <typename G, typename F>
-G filter_graph(const G& g, const F& pred) {
+graph<typename G::weight_type> filter_graph(const G& g, const F& pred) {
   using W = typename G::weight_type;
   const vertex_id n = g.num_vertices();
   auto degs = parlib::tabulate<edge_id>(n, [&](std::size_t v) {
@@ -165,7 +169,7 @@ G filter_graph(const G& g, const F& pred) {
   if constexpr (!std::is_same_v<W, empty_weight>) wghs.resize(total);
   parlib::parallel_for(0, n, [&](std::size_t v) {
     std::size_t k = offsets[v];
-    g.decode_out_break(static_cast<vertex_id>(v),
+    g.map_out_neighbors_early_exit(static_cast<vertex_id>(v),
                        [&](vertex_id u, vertex_id ngh, W w) {
                          if (pred(u, ngh, w)) {
                            nghs[k] = ngh;
@@ -180,8 +184,8 @@ G filter_graph(const G& g, const F& pred) {
   // The filtered graph is generally not symmetric even if g was; we build it
   // as out-CSR-only and mark it symmetric so in_* calls alias out_*.
   // Callers (TC) only use out-neighborhoods.
-  return G(n, total, /*symmetric=*/true, std::move(offsets), std::move(nghs),
-           std::move(wghs));
+  return graph<W>(n, total, /*symmetric=*/true, std::move(offsets),
+                  std::move(nghs), std::move(wghs));
 }
 
 }  // namespace gbbs

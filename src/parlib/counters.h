@@ -19,12 +19,17 @@ struct event_counters {
   std::atomic<std::uint64_t> edgemap_edges_examined{0};
   std::atomic<std::uint64_t> fetch_add_ops{0};
   std::atomic<std::uint64_t> histogram_calls{0};
+  // Full merged-CSR builds of a delta overlay (overlay_snapshot::
+  // materialize). The serving layer's fresh analytics path must leave
+  // this untouched — asserted by the view-equivalence tests.
+  std::atomic<std::uint64_t> merged_csr_materializations{0};
 
   void reset() {
     edgemap_slots_written = 0;
     edgemap_edges_examined = 0;
     fetch_add_ops = 0;
     histogram_calls = 0;
+    merged_csr_materializations = 0;
   }
 
   static event_counters& global() {

@@ -29,7 +29,7 @@ std::vector<std::uint32_t> bfs(const Graph& g, vertex_id src) {
   while (!q.empty()) {
     const vertex_id v = q.front();
     q.pop_front();
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       if (dist[u] == kInfDist) {
         dist[u] = dist[v] + 1;
         q.push_back(u);
@@ -52,7 +52,7 @@ std::vector<std::int64_t> dijkstra(const Graph& g, vertex_id src) {
     const auto [d, v] = pq.top();
     pq.pop();
     if (d != dist[v]) continue;
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto w) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto w) {
       const std::int64_t nd = d + static_cast<std::int64_t>(w);
       if (nd < dist[u]) {
         dist[u] = nd;
@@ -126,7 +126,7 @@ std::vector<double> betweenness(const Graph& g, vertex_id src) {
     const vertex_id v = q.front();
     q.pop_front();
     order.push_back(v);
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       if (dist[u] < 0) {
         dist[u] = dist[v] + 1;
         q.push_back(u);
@@ -137,7 +137,7 @@ std::vector<double> betweenness(const Graph& g, vertex_id src) {
   }
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const vertex_id w = *it;
-    g.decode_out_break(w, [&](vertex_id, vertex_id v, auto) {
+    g.map_out_neighbors_early_exit(w, [&](vertex_id, vertex_id v, auto) {
       if (dist[v] == dist[w] - 1) {
         delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
       }
@@ -161,7 +161,7 @@ std::vector<vertex_id> connectivity(const Graph& g) {
     while (!stack.empty()) {
       const vertex_id v = stack.back();
       stack.pop_back();
-      g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+      g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
         if (label[u] == kNoVertex) {
           label[u] = s;
           stack.push_back(u);
@@ -189,7 +189,7 @@ std::vector<vertex_id> scc(const Graph& g) {
   // Materialize adjacency for index-based iterative DFS.
   std::vector<std::vector<vertex_id>> adj(n);
   for (vertex_id v = 0; v < n; ++v) {
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       adj[v].push_back(u);
       return true;
     });
@@ -242,7 +242,7 @@ std::vector<std::pair<std::uint64_t, vertex_id>> biconnectivity_edge_labels(
   const vertex_id n = g.num_vertices();
   std::vector<std::vector<vertex_id>> adj(n);
   for (vertex_id v = 0; v < n; ++v) {
-    g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+    g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
       adj[v].push_back(u);
       return true;
     });
@@ -345,7 +345,7 @@ std::vector<vertex_id> coreness(const Graph& g) {
       done[v] = 1;
       k = std::max(k, d);
       core[v] = k;
-      g.decode_out_break(v, [&](vertex_id, vertex_id u, auto) {
+      g.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id u, auto) {
         if (!done[u] && deg[u] > d) {
           if (--deg[u] <= d) {
             bins[d].push_back(u);
@@ -372,7 +372,7 @@ std::vector<vertex_id> greedy_set_cover(const Graph& g, vertex_id num_sets) {
     std::size_t best_gain = 0;
     for (vertex_id s = 0; s < num_sets; ++s) {
       std::size_t gain = 0;
-      g.decode_out_break(s, [&](vertex_id, vertex_id e, auto) {
+      g.map_out_neighbors_early_exit(s, [&](vertex_id, vertex_id e, auto) {
         gain += covered[e] ? 0 : 1;
         return true;
       });
@@ -383,7 +383,7 @@ std::vector<vertex_id> greedy_set_cover(const Graph& g, vertex_id num_sets) {
     }
     if (best == kNoVertex) break;
     chosen.push_back(best);
-    g.decode_out_break(best, [&](vertex_id, vertex_id e, auto) {
+    g.map_out_neighbors_early_exit(best, [&](vertex_id, vertex_id e, auto) {
       covered[e] = 1;
       return true;
     });
@@ -463,7 +463,7 @@ bool covers_all(const Graph& g, vertex_id num_sets,
   const vertex_id n = g.num_vertices();
   std::vector<std::uint8_t> covered(n, 0);
   for (vertex_id s : chosen) {
-    g.decode_out_break(s, [&](vertex_id, vertex_id e, auto) {
+    g.map_out_neighbors_early_exit(s, [&](vertex_id, vertex_id e, auto) {
       covered[e] = 1;
       return true;
     });

@@ -1,0 +1,99 @@
+// dynamic_view: the serving layer's overlay-fused graph_view model.
+//
+// Wraps an immutable overlay_snapshot (shared base CSR + persistent
+// per-vertex delta index) and exposes the full neighborhood-iteration
+// concept of graph_view.h, so edge_map and the whole analytics suite
+// (BFS, k-core, triangles, connectivity) traverse base ⊕ overlay *fused*,
+// neighbor by neighbor — the merged CSR is never materialized on the
+// analytics path. This is what lets the query engine serve whole-graph
+// analytics at point-read freshness: the same index refreshed after every
+// ingest backs both.
+//
+// Serving graphs are symmetric, so the in-side aliases the out-side (the
+// dense edgeMap's in-neighbor scan needs no separate in-edge overlay
+// here; the live asymmetric case is handled by dynamic_graph itself).
+//
+// A dynamic_view holds a shared handle on its snapshot: it stays valid
+// for as long as the view lives, across publishes, compactions, and
+// writer teardown. Copies are O(1).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "graph/graph_view.h"
+#include "serve/overlay_view.h"
+
+namespace gbbs::serve {
+
+template <typename W>
+class dynamic_view {
+ public:
+  using weight_type = W;
+
+  dynamic_view() = default;
+  explicit dynamic_view(std::shared_ptr<const overlay_snapshot<W>> idx)
+      : idx_(std::move(idx)) {}
+
+  explicit operator bool() const { return idx_ != nullptr; }
+  const overlay_snapshot<W>& index() const { return *idx_; }
+
+  vertex_id num_vertices() const { return idx_->n; }
+  // Live directed edge count, overlay included — what the dense/sparse
+  // direction threshold of edge_map must see (a base-only count would
+  // undercount by the overlay's net inserts).
+  edge_id num_edges() const { return idx_->m; }
+  bool symmetric() const { return true; }
+
+  vertex_id out_degree(vertex_id v) const { return idx_->degree(v); }
+  vertex_id in_degree(vertex_id v) const { return idx_->degree(v); }
+
+  template <typename F>
+  void map_out_neighbors(vertex_id v, const F& f) const {
+    idx_->merge_row(v, [&](vertex_id ngh, W w) { f(v, ngh, w); });
+  }
+
+  template <typename F>
+  void map_in_neighbors(vertex_id v, const F& f) const {
+    map_out_neighbors(v, f);
+  }
+
+  template <typename F>
+  void map_out_neighbors_early_exit(vertex_id v, const F& f) const {
+    idx_->merge_row_early_exit(
+        v, [&](vertex_id ngh, W w) { return f(v, ngh, w); });
+  }
+
+  template <typename F>
+  void map_in_neighbors_early_exit(vertex_id v, const F& f) const {
+    map_out_neighbors_early_exit(v, f);
+  }
+
+  template <typename F>
+  void map_out_neighbors_range(vertex_id v, std::size_t j_lo,
+                               std::size_t j_hi, const F& f) const {
+    idx_->merge_row_range(v, j_lo, j_hi,
+                          [&](vertex_id ngh, W w) { f(v, ngh, w); });
+  }
+
+  // filter_graph / contraction support.
+  template <typename F>
+  std::size_t count_out(vertex_id v, const F& pred) const {
+    std::size_t c = 0;
+    map_out_neighbors(v, [&](vertex_id a, vertex_id b, W w) {
+      c += pred(a, b, w) ? 1 : 0;
+    });
+    return c;
+  }
+
+ private:
+  std::shared_ptr<const overlay_snapshot<W>> idx_;
+};
+
+}  // namespace gbbs::serve
+
+namespace gbbs {
+static_assert(graph_view<serve::dynamic_view<empty_weight>>);
+static_assert(graph_view<serve::dynamic_view<std::uint32_t>>);
+}  // namespace gbbs

@@ -1,17 +1,24 @@
 // Typed queries over the serving layer — the request vocabulary.
 //
-// Two execution paths:
+// Two execution paths, now with matching freshness for point reads *and*
+// traversal analytics:
+//   * execute_fresh_query(overlay_snapshot, q): everything — point reads
+//     (degree / neighbors / connected / component) *and* whole-graph
+//     analytics (bfs_distance / kcore_max / triangles /
+//     connectivity_refine) — answered from the *uncompacted* delta
+//     overlay the writer refreshes after every ingest. Analytics traverse
+//     a dynamic_view (the overlay-fused graph_view model), so they see
+//     updates that are not yet published and never materialize the merged
+//     CSR: edge_map, k-core's peeling, triangle counting's DAG build, and
+//     connectivity's LDD all run on base ⊕ overlay fused per neighbor.
 //   * execute_query(pinned_snapshot, q): everything runs against one
-//     immutable published version (graph + component view), so results
-//     are consistent even while the writer keeps ingesting. Traversals
-//     (bfs_distance) and analytics (kcore_max / triangles) reuse the
-//     static algorithm suite unmodified — the payoff of publishing real
-//     CSRs instead of a mutable structure.
-//   * execute_point_query(overlay_snapshot, q): point reads (degree /
-//     neighbors / connected / component) answered from the *uncompacted*
-//     delta overlay the writer refreshes after every ingest — they see
-//     updates that are not yet published, decoupling read freshness from
-//     publish frequency. Same O(1)/O(deg) costs, one extra small merge.
+//     immutable published version, so results are consistent even while
+//     the writer keeps ingesting. Analytics use the version's overlay
+//     through a dynamic_view by default (again, no merge); a query with
+//     `stale = true` explicitly requests the version's *materialized*
+//     merged CSR (memoized, built at most once per version) — the right
+//     trade when many analytics queries will hit the same version and
+//     CSR-contiguous traversal amortizes the one-time merge.
 //
 // Vertices a version (or overlay index) has not seen yet (the graph grows
 // under ingest, so a query admitted against an older version may
@@ -20,13 +27,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algorithms/bfs.h"
+#include "algorithms/connectivity.h"
 #include "algorithms/kcore.h"
 #include "algorithms/triangle.h"
 #include "graph/graph.h"
 #include "parlib/random.h"
+#include "serve/dynamic_view.h"
 #include "serve/overlay_view.h"
 #include "serve/snapshot_store.h"
 
@@ -40,10 +50,14 @@ enum class query_kind : std::uint8_t {
   bfs_distance,  // value = hop distance u -> v (kInfDist if unreachable)
   kcore_max,     // value = degeneracy (max coreness) of the version
   triangles,     // value = triangle count of the version
+  connectivity_refine,  // value = #components by from-scratch traversal
+                        // (audits the incrementally maintained labels)
 };
 
-// Point reads are the kinds the overlay path can serve without a
-// published version.
+inline constexpr std::size_t kNumQueryKinds = 8;
+
+// Point reads are the kinds served in O(1)/O(deg) from the overlay index
+// without any traversal.
 inline bool is_point_read(query_kind k) {
   return k == query_kind::degree || k == query_kind::neighbors ||
          k == query_kind::connected || k == query_kind::component;
@@ -58,6 +72,7 @@ inline const char* query_kind_name(query_kind k) {
     case query_kind::bfs_distance: return "bfs_distance";
     case query_kind::kcore_max: return "kcore_max";
     case query_kind::triangles: return "triangles";
+    case query_kind::connectivity_refine: return "connectivity_refine";
   }
   return "?";
 }
@@ -66,6 +81,12 @@ struct query {
   query_kind kind = query_kind::degree;
   vertex_id u = 0;
   vertex_id v = 0;  // second endpoint (connected / bfs_distance)
+  // Explicitly-stale request: execute against the latest *published*
+  // version's materialized merged CSR instead of the fresh overlay view.
+  // The materialization is memoized per version, so a stale analytics
+  // stream pays one merge per version and then traverses a contiguous
+  // CSR; fresh queries (the default) never merge at all.
+  bool stale = false;
 };
 
 struct query_result {
@@ -81,14 +102,15 @@ struct query_result {
 // The serving-style randomized query mix used by run_serve, bench_serve,
 // and the concurrency tests: point reads dominate (degree 30% / neighbors
 // 30% / connected 20% / component 10%), one in ten queries is a BFS, and
-// `heavy` adds rare whole-graph analytics (kcore/triangles, 0.2%).
-// Deterministic in (rng, i).
+// `heavy` adds rare whole-graph analytics (kcore / triangles /
+// connectivity refinement, 0.3%). Deterministic in (rng, i).
 inline query make_mixed_query(const parlib::random& rng, std::size_t i,
                               vertex_id n, bool heavy = false) {
   const auto u = static_cast<vertex_id>(rng.ith_rand(3 * i) % n);
   const auto v = static_cast<vertex_id>(rng.ith_rand(3 * i + 1) % n);
   const std::uint64_t dice = rng.ith_rand(3 * i + 2) % 1000;
-  if (heavy && dice >= 998) {
+  if (heavy && dice >= 997) {
+    if (dice == 997) return {query_kind::connectivity_refine, 0, 0};
     return {dice == 998 ? query_kind::kcore_max : query_kind::triangles, 0,
             0};
   }
@@ -99,11 +121,36 @@ inline query make_mixed_query(const parlib::random& rng, std::size_t i,
   return {query_kind::bfs_distance, u, v};
 }
 
+namespace query_internal {
+
+// Run one traversal analytics kind over any graph_view model.
+template <graph_view G>
+std::uint64_t run_analytics(const G& g, const query& q) {
+  switch (q.kind) {
+    case query_kind::bfs_distance:
+      if (q.u < g.num_vertices() && q.v < g.num_vertices()) {
+        return gbbs::bfs(g, q.u)[q.v];
+      }
+      return q.u == q.v ? 0 : gbbs::kInfDist;
+    case query_kind::kcore_max:
+      return gbbs::kcore(g).max_core;
+    case query_kind::triangles:
+      return gbbs::triangle_count(g);
+    case query_kind::connectivity_refine:
+      return gbbs::component_representatives(gbbs::connectivity(g)).size();
+    default:
+      return 0;  // not an analytics kind
+  }
+}
+
+}  // namespace query_internal
+
 // Execute q against one pinned version. Pure read; safe to call from any
 // number of threads on the same pinned_snapshot. Point reads go through
-// the version's overlay (base ⊕ deltas) when it has one, so they never
-// force the lazy merged-CSR materialization; analytics and traversals use
-// view(), paying the (memoized, once-per-version) merge.
+// the version's overlay (base ⊕ deltas) when it has one; analytics
+// traverse the overlay through a dynamic_view — neither materializes the
+// merged CSR. Only q.stale analytics pay the (memoized, once-per-version)
+// merge via view().
 template <typename W>
 query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
   const vertex_id n = snap.num_vertices();
@@ -134,49 +181,60 @@ query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
     case query_kind::component:
       r.value = snap.components().label(q.u);
       break;
-    case query_kind::bfs_distance:
-      if (q.u < n && q.v < n) {
-        r.value = gbbs::bfs(snap.view(), q.u)[q.v];
+    default:  // traversal analytics
+      if (ov != nullptr && !q.stale) {
+        r.value = query_internal::run_analytics(
+            dynamic_view<W>(snap.overlay_handle()), q);
       } else {
-        r.value = q.u == q.v ? 0 : gbbs::kInfDist;
+        r.value = query_internal::run_analytics(snap.view(), q);
       }
-      break;
-    case query_kind::kcore_max:
-      r.value = gbbs::kcore(snap.view()).max_core;
-      break;
-    case query_kind::triangles:
-      r.value = gbbs::triangle_count(snap.view());
       break;
   }
   return r;
 }
 
-// Execute a point read against an overlay index (the delta-aware fresh
-// path). Pure read over immutable shared data; safe from any thread.
-// Pre: is_point_read(q.kind).
+// Execute any query against the freshest overlay index (the delta-aware
+// fresh path): point reads straight off the index, analytics through the
+// overlay-fused dynamic_view. Pure read over immutable shared data; safe
+// from any thread. Never materializes the merged CSR.
+template <typename W>
+query_result execute_fresh_query(
+    std::shared_ptr<const overlay_snapshot<W>> idx, const query& q) {
+  query_result r;
+  r.version = idx->base_version;
+  r.epoch = idx->epoch;
+  switch (q.kind) {
+    case query_kind::degree:
+      r.value = idx->degree(q.u);
+      break;
+    case query_kind::neighbors:
+      r.list = idx->neighbors(q.u);
+      break;
+    case query_kind::connected:
+      r.value = idx->cc.connected(q.u, q.v) ? 1 : 0;
+      break;
+    case query_kind::component:
+      r.value = idx->cc.label(q.u);
+      break;
+    default:
+      r.value = query_internal::run_analytics(
+          dynamic_view<W>(std::move(idx)), q);
+      break;
+  }
+  return r;
+}
+
+// Backwards-compatible name for the point-read-only entry point (the
+// fresh path now serves every kind). Pre: any kind is fine.
 template <typename W>
 query_result execute_point_query(const overlay_snapshot<W>& idx,
                                  const query& q) {
-  query_result r;
-  r.version = idx.base_version;
-  r.epoch = idx.epoch;
-  switch (q.kind) {
-    case query_kind::degree:
-      r.value = idx.degree(q.u);
-      break;
-    case query_kind::neighbors:
-      r.list = idx.neighbors(q.u);
-      break;
-    case query_kind::connected:
-      r.value = idx.cc.connected(q.u, q.v) ? 1 : 0;
-      break;
-    case query_kind::component:
-      r.value = idx.cc.label(q.u);
-      break;
-    default:
-      break;  // unreachable under the precondition
-  }
-  return r;
+  // The shared_ptr aliasing constructor keeps no ownership: callers of
+  // this legacy signature already guarantee idx outlives the call.
+  return execute_fresh_query(
+      std::shared_ptr<const overlay_snapshot<W>>(
+          std::shared_ptr<const overlay_snapshot<W>>{}, &idx),
+      q);
 }
 
 }  // namespace gbbs::serve

@@ -1,12 +1,14 @@
 // Reader pool: N threads draining a queue of typed queries.
 //
-// Routing. Point reads (degree / neighbors / connected / component) are
-// served from the freshest overlay index when the engine was given one —
-// they observe every ingested batch, published or not (read freshness
-// decoupled from publish frequency). Everything else — and every query,
-// when no overlay is wired — pins the store's latest published version
-// right before executing, holds the pin for exactly the query's duration,
-// and records the version in the result.
+// Routing. When the engine was given an overlay_view, *every* query kind
+// defaults to the freshest overlay index — point reads straight off it,
+// traversal analytics (bfs / kcore / triangles / connectivity refinement)
+// through the overlay-fused dynamic_view — so analytics freshness matches
+// the point-read path and no query materializes the merged CSR. A query
+// with `stale = true` — and every query, when no overlay is wired — pins
+// the store's latest published version right before executing, holds the
+// pin for exactly the query's duration, and records the version in the
+// result (stale analytics use the version's memoized merged CSR).
 //
 // The pool runs concurrently with the single writer publishing into the
 // same snapshot_store — admission control is the lock-free pin (or the
@@ -20,6 +22,16 @@
 // immediately with result.rejected = true (dropped() counts them);
 // `block` makes submit wait for space — backpressure on the producer.
 //
+// SLO accounting. The engine keeps a *bounded reservoir* of per-kind
+// latency samples (submit -> completion, the client-observed number;
+// algorithm-R reservoir sampling caps memory at a few thousand samples
+// per kind no matter how long the engine serves, while counts, maxima,
+// and SLO violations stay exact) and, when the options carry SLO targets
+// (one for point reads, one for analytics), counts per-kind violations.
+// latency_by_kind() summarizes count / p50 / p99 / max / violations per
+// kind — the numbers run_serve prints and bench_serve -json emits, so
+// per-kind latency regressions surface in CI.
+//
 // Queries that internally use parallel algorithms (bfs/kcore/triangles)
 // run on the shared parlib work-stealing scheduler; reader threads are
 // not scheduler workers, but par_do from foreign threads is safe (jobs
@@ -32,6 +44,8 @@
 // becomes ready.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -57,19 +71,35 @@ struct query_engine_options {
     block,   // overflowing submit waits until the queue has space
   };
   overflow_policy on_overflow = overflow_policy::reject;
+
+  // Latency SLO targets (seconds); 0 disables. Point reads (degree /
+  // neighbors / connected / component) are held to slo_point_s, traversal
+  // analytics to slo_analytics_s. Violations are counted per kind.
+  double slo_point_s = 0;
+  double slo_analytics_s = 0;
 };
 
 template <typename W>
 class query_engine {
  public:
+  // Per-kind latency summary (seconds). Percentiles are linearly
+  // interpolated over all completed samples of that kind.
+  struct kind_stats {
+    std::uint64_t count = 0;
+    std::uint64_t slo_violations = 0;
+    double p50_s = 0;
+    double p99_s = 0;
+    double max_s = 0;
+  };
+
   // Snapshot-only engine: every query pins a published version.
   explicit query_engine(const snapshot_store<W>& store,
                         std::size_t num_readers = 4,
                         query_engine_options options = {})
       : query_engine(store, nullptr, num_readers, options) {}
 
-  // Engine with a fresh path: point reads are served from `overlay`
-  // (pass &manager.overlay()), the rest from pinned versions.
+  // Engine with a fresh path: all kinds are served from `overlay`
+  // (pass &manager.overlay()) unless a query asks for `stale`.
   query_engine(const snapshot_store<W>& store,
                const overlay_view<W>* overlay, std::size_t num_readers = 4,
                query_engine_options options = {})
@@ -159,12 +189,62 @@ class query_engine {
     return dropped_;
   }
 
+  // Per-kind latency/SLO summary over everything completed so far.
+  // Counts, maxima, and violations are exact; percentiles are estimated
+  // from the bounded reservoir. Index with
+  // static_cast<std::size_t>(query_kind).
+  std::array<kind_stats, kNumQueryKinds> latency_by_kind() const {
+    std::array<kind_reservoir, kNumQueryKinds> res;
+    std::array<kind_stats, kNumQueryKinds> out;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+        res[k] = kind_samples_[k];
+        out[k].slo_violations = slo_violations_[k];
+      }
+    }
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      auto& s = res[k].samples;
+      out[k].count = res[k].count;
+      if (s.empty()) continue;
+      std::sort(s.begin(), s.end());
+      out[k].p50_s = interpolate(s, 0.50);
+      out[k].p99_s = interpolate(s, 0.99);
+      out[k].max_s = res[k].max_s;
+    }
+    return out;
+  }
+
  private:
   struct item {
     query q;
     std::chrono::steady_clock::time_point submitted;
     std::promise<query_result> promise;
   };
+
+  // Bounded latency reservoir (Vitter's algorithm R): every completed
+  // sample has equal probability of being resident, so percentile
+  // estimates are unbiased while memory stays capped for the engine's
+  // lifetime. count and max_s are exact.
+  struct kind_reservoir {
+    static constexpr std::size_t kCap = std::size_t{1} << 14;
+    std::vector<double> samples;
+    std::uint64_t count = 0;
+    double max_s = 0;
+  };
+
+  static double interpolate(const std::vector<double>& sorted, double q) {
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) *
+                            (rank - static_cast<double>(lo));
+  }
+
+  double slo_for(query_kind k) const {
+    return is_point_read(k) ? options_.slo_point_s
+                            : options_.slo_analytics_s;
+  }
 
   void reader_loop() {
     for (;;) {
@@ -178,11 +258,12 @@ class query_engine {
       }
       space_cv_.notify_one();
       query_result r;
-      if (overlay_ != nullptr && is_point_read(it.q.kind)) {
+      if (overlay_ != nullptr && !it.q.stale) {
         // Fresh path: the overlay index current right now (covers every
-        // ingest that returned before this read).
+        // ingest that returned before this read) serves every kind —
+        // analytics traverse it fused, no merged-CSR build.
         if (auto idx = overlay_->read()) {
-          r = execute_point_query(*idx, it.q);
+          r = execute_fresh_query(std::move(idx), it.q);
         } else if (pinned_snapshot<W> snap = store_.pin()) {
           r = execute_query(snap, it.q);
         }
@@ -196,11 +277,30 @@ class query_engine {
       r.latency_s = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - it.submitted)
                         .count();
+      const auto kind_slot = static_cast<std::size_t>(it.q.kind);
+      const double slo = slo_for(it.q.kind);
+      const double latency = r.latency_s;
       it.promise.set_value(std::move(r));
       bool idle;
       {
         std::lock_guard<std::mutex> lk(mutex_);
         ++completed_;
+        if (kind_slot < kNumQueryKinds) {
+          kind_reservoir& res = kind_samples_[kind_slot];
+          ++res.count;
+          res.max_s = std::max(res.max_s, latency);
+          if (res.samples.size() < kind_reservoir::kCap) {
+            res.samples.push_back(latency);
+          } else {
+            // xorshift64: cheap, and only ever advanced under mutex_.
+            rng_state_ ^= rng_state_ << 13;
+            rng_state_ ^= rng_state_ >> 7;
+            rng_state_ ^= rng_state_ << 17;
+            const std::uint64_t j = rng_state_ % res.count;
+            if (j < kind_reservoir::kCap) res.samples[j] = latency;
+          }
+          if (slo > 0 && latency > slo) ++slo_violations_[kind_slot];
+        }
         idle = completed_ == submitted_;
       }
       if (idle) idle_cv_.notify_all();
@@ -220,6 +320,9 @@ class query_engine {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
+  std::array<kind_reservoir, kNumQueryKinds> kind_samples_;
+  std::array<std::uint64_t, kNumQueryKinds> slo_violations_{};
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
   bool stopping_ = false;
 };
 

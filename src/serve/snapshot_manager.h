@@ -79,14 +79,25 @@ class snapshot_manager {
   // ---- writer side (single thread) ---------------------------------------
 
   // Absorb a raw update batch, keep connectivity current, and refresh the
-  // overlay view so point reads observe this batch immediately — published
-  // versions are untouched until the next publish(). O(batch + overlay).
+  // overlay view so reads observe this batch immediately — published
+  // versions are untouched until the next publish(). The index refresh is
+  // *incremental*: only the buckets holding the batch's distinct vertices
+  // are rebuilt, every other bucket is shared with the previous snapshot
+  // (O(batch) expected, not O(overlay) — see overlay_view.h).
   void ingest(std::vector<dynamic::update<W>> raw) {
     updates_ingested_ += raw.size();
     auto batch = dg_.apply(std::move(raw));
     cc_.apply(batch, dg_);
     track_links(batch);
-    refresh_overlay();
+    // Distinct updated vertices (the batch is (u, v)-sorted).
+    std::vector<vertex_id> touched;
+    touched.reserve(batch.updates.size());
+    for (const auto& up : batch.updates) {
+      if (touched.empty() || touched.back() != up.u) {
+        touched.push_back(up.u);
+      }
+    }
+    refresh_overlay(&touched);
   }
 
   // Publish the live view as a new immutable version. Returns its number.
@@ -228,11 +239,15 @@ class snapshot_manager {
   }
 
   // Distill the current overlay into an immutable index and hand it to
-  // readers through the seqlock. O(overlay + links).
-  void refresh_overlay() {
+  // readers through the seqlock. With `touched` (the batch's distinct
+  // vertices) this is incremental against the previous index — O(batch)
+  // expected; without, a full O(overlay) rebuild (compaction hand-offs,
+  // defensive refreshes).
+  void refresh_overlay(const std::vector<vertex_id>* touched = nullptr) {
     last_index_ = build_overlay_snapshot(dg_, current_components(),
                                          updates_ingested_,
-                                         store_.current_version());
+                                         store_.current_version(),
+                                         last_index_.get(), touched);
     overlay_.refresh(last_index_);
   }
 

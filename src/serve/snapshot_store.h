@@ -77,9 +77,7 @@ struct version_payload {
   component_view components;
 
   bool overlay_empty() const {
-    return overlay == nullptr ||
-           (overlay->verts.empty() &&
-            overlay->n == base.num_vertices());
+    return overlay == nullptr || overlay->overlay_empty();
   }
 
   // The version's full merged CSR, materialized at most once (lazily) and
@@ -130,6 +128,13 @@ class pinned_snapshot {
   // Point reads route here to avoid materializing.
   const overlay_snapshot<W>* overlay() const {
     return payload_->overlay_empty() ? nullptr : payload_->overlay.get();
+  }
+
+  // Shared handle on the overlay index (null when the base is the live
+  // view) — what a dynamic_view is built from, so fresh-at-this-version
+  // analytics traverse base ⊕ overlay without materializing the merge.
+  std::shared_ptr<const overlay_snapshot<W>> overlay_handle() const {
+    return payload_->overlay_empty() ? nullptr : payload_->overlay;
   }
 
   const component_view& components() const { return payload_->components; }

@@ -61,14 +61,14 @@ void expect_same_neighborhoods(const G1& a, const G2& b) {
     ASSERT_EQ(a.out_degree(v), b.out_degree(v)) << v;
     std::vector<vertex_id> na, nb;
     std::vector<std::uint64_t> wa, wb;
-    a.decode_out_break(v, [&](vertex_id, vertex_id ngh, auto w) {
+    a.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id ngh, auto w) {
       na.push_back(ngh);
       if constexpr (!std::is_same_v<decltype(w), empty_weight>) {
         wa.push_back(w);
       }
       return true;
     });
-    b.decode_out_break(v, [&](vertex_id, vertex_id ngh, auto w) {
+    b.map_out_neighbors_early_exit(v, [&](vertex_id, vertex_id ngh, auto w) {
       nb.push_back(ngh);
       if constexpr (!std::is_same_v<decltype(w), empty_weight>) {
         wb.push_back(w);
@@ -124,10 +124,10 @@ TEST_P(CompressionGraphs, MapOutRangeMatchesUncompressed) {
     if (deg < 3) continue;
     const std::size_t lo = deg / 3, hi = 2 * deg / 3 + 1;
     std::vector<vertex_id> a, b;
-    g.map_out_range(v, lo, hi, [&](vertex_id, vertex_id ngh, empty_weight) {
+    g.map_out_neighbors_range(v, lo, hi, [&](vertex_id, vertex_id ngh, empty_weight) {
       a.push_back(ngh);
     });
-    cg.map_out_range(v, lo, hi, [&](vertex_id, vertex_id ngh, empty_weight) {
+    cg.map_out_neighbors_range(v, lo, hi, [&](vertex_id, vertex_id ngh, empty_weight) {
       b.push_back(ngh);
     });
     ASSERT_EQ(a, b) << v;
@@ -155,11 +155,11 @@ TEST(Compression, DirectedGraphKeepsBothSides) {
   for (vertex_id v = 0; v < g.num_vertices(); v += 11) {
     ASSERT_EQ(g.in_degree(v), cg.in_degree(v));
     std::vector<vertex_id> a, b;
-    g.decode_in_break(v, [&](vertex_id, vertex_id ngh, empty_weight) {
+    g.map_in_neighbors_early_exit(v, [&](vertex_id, vertex_id ngh, empty_weight) {
       a.push_back(ngh);
       return true;
     });
-    cg.decode_in_break(v, [&](vertex_id, vertex_id ngh, empty_weight) {
+    cg.map_in_neighbors_early_exit(v, [&](vertex_id, vertex_id ngh, empty_weight) {
       b.push_back(ngh);
       return true;
     });
@@ -174,7 +174,7 @@ TEST(Compression, MultiBlockVertexDecodesAcrossBoundaries) {
   auto cg = compressed_graph<empty_weight>::compress(g);
   ASSERT_GT(g.out_degree(0), gbbs::kCompressedBlockSize);
   std::vector<vertex_id> got;
-  cg.decode_out_break(0, [&](vertex_id, vertex_id ngh, empty_weight) {
+  cg.map_out_neighbors_early_exit(0, [&](vertex_id, vertex_id ngh, empty_weight) {
     got.push_back(ngh);
     return true;
   });
@@ -187,7 +187,7 @@ TEST(Compression, EarlyExitStopsDecoding) {
   auto g = gbbs::build_symmetric_graph<empty_weight>(n, gbbs::star_edges(n));
   auto cg = compressed_graph<empty_weight>::compress(g);
   std::size_t steps = 0;
-  cg.decode_out_break(0, [&](vertex_id, vertex_id, empty_weight) {
+  cg.map_out_neighbors_early_exit(0, [&](vertex_id, vertex_id, empty_weight) {
     return ++steps < 10;
   });
   EXPECT_EQ(steps, 10u);
@@ -212,7 +212,7 @@ TEST(Compression, FilterKeepsPredicateEdges) {
       cg, [](vertex_id u, vertex_id v, empty_weight) { return u < v; });
   EXPECT_EQ(fg.num_edges(), g.num_edges() / 2);
   for (vertex_id v = 0; v < fg.num_vertices(); v += 7) {
-    fg.decode_out_break(v, [&](vertex_id src, vertex_id ngh, empty_weight) {
+    fg.map_out_neighbors_early_exit(v, [&](vertex_id src, vertex_id ngh, empty_weight) {
       EXPECT_LT(src, ngh);
       return true;
     });

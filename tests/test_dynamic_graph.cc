@@ -76,7 +76,7 @@ TEST(DynamicGraph, InsertsAppearInLiveView) {
   EXPECT_TRUE(dg.contains_edge(3, 2));
   EXPECT_FALSE(dg.contains_edge(1, 2));
   std::vector<vertex_id> nghs;
-  dg.map_out(0, [&](vertex_id, vertex_id v, empty_weight) {
+  dg.map_out_neighbors(0, [&](vertex_id, vertex_id v, empty_weight) {
     nghs.push_back(v);
   });
   EXPECT_EQ(nghs, (std::vector<vertex_id>{1, 2}));

@@ -89,7 +89,7 @@ TEST(GraphBuild, WeightsFollowEdgesThroughBuild) {
   auto g = gbbs::build_symmetric_graph<std::uint32_t>(3, edges);
   // Edge (1,0) must carry weight 10, (2,0) weight 30, (2,1) weight 20.
   bool found = false;
-  g.decode_out_break(2, [&](vertex_id, vertex_id ngh, std::uint32_t w) {
+  g.map_out_neighbors_early_exit(2, [&](vertex_id, vertex_id ngh, std::uint32_t w) {
     if (ngh == 0) {
       EXPECT_EQ(w, 30u);
       found = true;
@@ -150,7 +150,7 @@ TEST(GraphBuild, MapAndReduceOutAgree) {
   auto g = gbbs::rmat_symmetric(8, 3000, 17);
   for (vertex_id v = 0; v < g.num_vertices(); v += 37) {
     std::uint64_t sum_map = 0;
-    g.map_out(v, [&](vertex_id, vertex_id ngh, empty_weight) {
+    g.map_out_neighbors(v, [&](vertex_id, vertex_id ngh, empty_weight) {
       parlib::fetch_and_add<std::uint64_t>(&sum_map, ngh);
     });
     const auto sum_red = g.reduce_out(
@@ -183,7 +183,7 @@ TEST(GraphBuild, MapOutRangeSubsetsAdjacency) {
     }
   }
   std::vector<vertex_id> got;
-  g.map_out_range(v, 1, 4, [&](vertex_id, vertex_id ngh, empty_weight) {
+  g.map_out_neighbors_range(v, 1, 4, [&](vertex_id, vertex_id ngh, empty_weight) {
     got.push_back(ngh);
   });
   auto nghs = g.out_neighbors(v);

@@ -37,7 +37,7 @@ TEST_P(MsfSuite, ForestIsSpanningAndAcyclic) {
     ASSERT_TRUE(uf.unite(e.u, e.v)) << "cycle";
     // Edge exists in g with this weight.
     bool found = false;
-    g.decode_out_break(e.u, [&](vertex_id, vertex_id ngh, std::uint32_t w) {
+    g.map_out_neighbors_early_exit(e.u, [&](vertex_id, vertex_id ngh, std::uint32_t w) {
       if (ngh == e.v && w == e.w) found = true;
       return ngh < e.v;  // sorted adjacency: stop once past
     });

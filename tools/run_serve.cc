@@ -1,9 +1,11 @@
 // Replay a mixed update/query trace through the snapshot-serving subsystem:
 // a single writer ingests the graph as an edge stream (publishing an
 // immutable version after every batch, with hand-off compaction), while a
-// pool of reader threads executes a randomized query mix against pinned
-// versions. Reports update and query throughput plus p50/p90/p99 query
-// latency.
+// pool of reader threads executes a randomized query mix — point reads and
+// whole-graph analytics alike served from the fresh overlay path (the
+// overlay-fused dynamic_view; no merged-CSR materialization). Reports
+// update and query throughput, p50/p90/p99 query latency, and a per-kind
+// latency/SLO table.
 //
 // Flags (besides the shared runner.h set):
 //   -batch <b>        updates per ingest batch (default 1 << 13)
@@ -11,13 +13,18 @@
 //   -read-ratio <f>   fraction of trace operations that are queries, in
 //                     [0, 1) (default 0.5); queries per batch =
 //                     batch * f / (1 - f)
-//   -heavy            include whole-graph analytics (kcore/triangles) in
-//                     the query mix
-//   -no-fresh         disable the overlay fresh path: point reads execute
+//   -heavy            include whole-graph analytics (kcore / triangles /
+//                     connectivity refinement) in the query mix
+//   -no-fresh         disable the overlay fresh path: every query executes
 //                     against pinned published versions only
+//   -slo-point <ms>       latency SLO for point reads (0 = off)
+//   -slo-analytics <ms>   latency SLO for traversal analytics (0 = off)
 //   -verify           after the trace: check the final version's CSR edge
-//                     count and its connectivity labels against the static
-//                     connectivity() of the final snapshot.
+//                     count, its connectivity labels against the static
+//                     connectivity() of the final snapshot, and the
+//                     connectivity refinement of the *fresh* dynamic_view
+//                     against the same partition.
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -28,6 +35,7 @@
 #include "bench_common.h"
 #include "dynamic/stream.h"
 #include "runner.h"
+#include "serve/dynamic_view.h"
 #include "serve/query.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_manager.h"
@@ -47,6 +55,8 @@ int main(int argc, char** argv) {
   double read_ratio = 0.5;
   bool heavy = false;
   bool fresh = true;
+  double slo_point_ms = 0;
+  double slo_analytics_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
@@ -58,6 +68,10 @@ int main(int argc, char** argv) {
       heavy = true;
     } else if (!std::strcmp(argv[i], "-no-fresh")) {
       fresh = false;
+    } else if (!std::strcmp(argv[i], "-slo-point") && i + 1 < argc) {
+      slo_point_ms = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "-slo-analytics") && i + 1 < argc) {
+      slo_analytics_ms = std::strtod(argv[++i], nullptr);
     }
   }
   if (batch_size == 0) batch_size = 1;
@@ -70,9 +84,9 @@ int main(int argc, char** argv) {
   auto stream_edges = gbbs::dynamic::undirected_stream_edges(g);
   std::printf(
       "serve: n=%u, %zu streamed edges, batch=%zu, readers=%zu, "
-      "%zu queries/batch%s\n",
+      "%zu queries/batch%s%s\n",
       n, stream_edges.size(), batch_size, readers, queries_per_batch,
-      heavy ? " (heavy mix)" : "");
+      heavy ? " (heavy mix)" : "", fresh ? "" : " (no fresh path)");
 
   tools::run_rounds("serve", o, [&]() {
     gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
@@ -81,9 +95,15 @@ int main(int argc, char** argv) {
     parlib::random rng(o.seed);
     std::size_t updates = 0, batches = 0, qi = 0;
     double wall = 0;
+    gbbs::serve::query_engine_options opts;
+    opts.slo_point_s = slo_point_ms / 1e3;
+    opts.slo_analytics_s = slo_analytics_ms / 1e3;
+    std::array<gbbs::serve::query_engine<empty_weight>::kind_stats,
+               gbbs::serve::kNumQueryKinds>
+        kinds{};
     {
       gbbs::serve::query_engine<empty_weight> engine(
-          mgr.store(), fresh ? &mgr.overlay() : nullptr, readers);
+          mgr.store(), fresh ? &mgr.overlay() : nullptr, readers, opts);
       wall = bench::time_once([&] {
         while (!stream.done()) {
           auto raw = stream.next_inserts(batch_size);
@@ -99,6 +119,7 @@ int main(int argc, char** argv) {
         }
         engine.drain();
       });
+      kinds = engine.latency_by_kind();
     }
 
     std::vector<double> latencies;
@@ -107,6 +128,21 @@ int main(int argc, char** argv) {
       latencies.push_back(f.get().latency_s);
     }
     const auto stats = bench::summarize(std::move(latencies));
+
+    // Per-kind latency / SLO accounting.
+    std::printf("%-20s %10s %10s %10s %10s %9s\n", "kind", "count",
+                "p50(ms)", "p99(ms)", "max(ms)", "slo-viol");
+    for (std::size_t k = 0; k < gbbs::serve::kNumQueryKinds; ++k) {
+      if (kinds[k].count == 0) continue;
+      std::printf("%-20s %10llu %10.3f %10.3f %10.3f %9llu\n",
+                  gbbs::serve::query_kind_name(
+                      static_cast<gbbs::serve::query_kind>(k)),
+                  static_cast<unsigned long long>(kinds[k].count),
+                  kinds[k].p50_s * 1e3, kinds[k].p99_s * 1e3,
+                  kinds[k].max_s * 1e3,
+                  static_cast<unsigned long long>(kinds[k].slo_violations));
+    }
+
     char buf[240];
     std::snprintf(
         buf, sizeof(buf),
@@ -121,9 +157,18 @@ int main(int argc, char** argv) {
     if (o.verify) {
       auto snap = mgr.pin();
       bool ok = snap && snap.view().num_edges() == 2 * stream_edges.size();
+      const auto static_labels = gbbs::connectivity(snap.view());
       ok = ok && gbbs::same_partition(
                      snap.components().materialize(snap.num_vertices()),
-                     gbbs::connectivity(snap.view()));
+                     static_labels);
+      // Connectivity refinement on the *fresh* overlay-fused view: the
+      // final overlay index describes the same live graph, so a
+      // from-scratch traversal over it must produce the same partition.
+      if (auto idx = mgr.overlay().read()) {
+        gbbs::serve::dynamic_view<empty_weight> dv(idx);
+        ok = ok && gbbs::same_partition(gbbs::connectivity(dv),
+                                        static_labels);
+      }
       tools::report_verification("serve", ok);
     }
     return std::string(buf);
