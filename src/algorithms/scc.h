@@ -89,8 +89,10 @@ parlib::reachability_table multi_search(
     }
     parlib::parallel_for(0, frontier.size(),
                          [&](std::size_t i) { on_frontier[frontier[i]] = 0; });
-    // Per-worker insertion counts avoid a contended global counter.
-    std::vector<std::uint64_t> added(parlib::num_workers(), 0);
+    // Per-worker insertion counts avoid a contended global counter. Sized
+    // and indexed by worker *slot* so external workers (and the shared
+    // unregistered slot) stay in bounds.
+    std::vector<std::uint64_t> added(parlib::max_worker_slots(), 0);
     std::vector<std::uint8_t> next_flag(n, 0);
     parlib::parallel_for(
         0, frontier.size(),
@@ -103,7 +105,7 @@ parlib::reachability_table multi_search(
               if (labels[v] != center_sub[ci]) return;
               if (!table.contains(v, ci)) {
                 if (table.insert(v, ci)) {
-                  ++added[parlib::worker_id()];
+                  ++added[parlib::worker_slot()];
                   any = true;
                 }
               }

@@ -23,6 +23,18 @@ struct event_counters {
   // materialize). The serving layer's fresh analytics path must leave
   // this untouched — asserted by the view-equivalence tests.
   std::atomic<std::uint64_t> merged_csr_materializations{0};
+  // Scheduler participation (see scheduler.h). External registrations is
+  // bumped once per register_external_worker(); unregistered par_dos once
+  // per fork that fell back to inline-sequential because the calling
+  // thread never registered (a non-zero value under serving load means a
+  // reader pool forgot its worker_guards); reader forks is the number of
+  // jobs reader threads pushed onto their *own* deques, flushed by the
+  // query engine once per query — the counter that proves concurrent
+  // queries fork onto per-reader deques instead of funneling through
+  // deque 0.
+  std::atomic<std::uint64_t> sched_external_registrations{0};
+  std::atomic<std::uint64_t> sched_unregistered_pardos{0};
+  std::atomic<std::uint64_t> sched_reader_forks{0};
 
   void reset() {
     edgemap_slots_written = 0;
@@ -30,6 +42,9 @@ struct event_counters {
     fetch_add_ops = 0;
     histogram_calls = 0;
     merged_csr_materializations = 0;
+    sched_external_registrations = 0;
+    sched_unregistered_pardos = 0;
+    sched_reader_forks = 0;
   }
 
   static event_counters& global() {

@@ -34,6 +34,9 @@ void parallel_for_rec(std::size_t lo, std::size_t hi, const F& f,
 }  // namespace internal
 
 inline std::size_t default_granularity(std::size_t n) {
+  // Unregistered threads run par_do inline-sequentially (scheduler.h), so
+  // splitting their loops would only add recursion overhead: one chunk.
+  if (!scheduler::instance().is_registered()) return n;
   const std::size_t workers = num_active_workers();
   if (workers <= 1) return n;  // fully sequential
   // ~32 chunks per worker, but never chunks smaller than 64 iterations so

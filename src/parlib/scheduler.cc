@@ -22,7 +22,7 @@ std::size_t default_num_workers() {
   return hw == 0 ? 1 : hw;
 }
 
-thread_local std::size_t tls_worker_id = 0;
+thread_local std::size_t tls_worker_id = scheduler::kNoWorker;
 
 std::uint64_t mix_rng(std::uint64_t& state) {
   // xorshift64*, good enough for victim selection.
@@ -46,7 +46,16 @@ void scheduler::set_num_workers(std::size_t n) {
 scheduler::scheduler(std::size_t num_workers)
     : num_workers_(num_workers == 0 ? 1 : num_workers),
       active_workers_(num_workers_),
-      deques_(num_workers_) {
+      deques_(new internal::work_deque[num_workers_ + kMaxExternalWorkers]),
+      slot_claimed_(
+          new std::atomic<bool>[num_workers_ + kMaxExternalWorkers]),
+      slot_limit_(num_workers_) {
+  for (std::size_t s = 0; s < max_slots(); ++s) {
+    slot_claimed_[s].store(s < num_workers_, std::memory_order_relaxed);
+  }
+  // The constructing thread (normally main, first to touch the scheduler)
+  // is worker 0 for the lifetime of the process.
+  tls_worker_id = 0;
   threads_.reserve(num_workers_ - 1);
   for (std::size_t id = 1; id < num_workers_; ++id) {
     threads_.emplace_back([this, id] { worker_loop(id); });
@@ -59,6 +68,39 @@ scheduler::~scheduler() {
 }
 
 std::size_t scheduler::worker_id() const { return tls_worker_id; }
+
+std::size_t scheduler::register_external_worker() {
+  if (tls_worker_id != kNoWorker) return tls_worker_id;  // already a worker
+  for (std::size_t s = num_workers_; s < max_slots(); ++s) {
+    bool expected = false;
+    if (slot_claimed_[s].compare_exchange_strong(
+            expected, true, std::memory_order_acquire,
+            std::memory_order_relaxed)) {
+      // Publish the slot to thieves before any job can land on it.
+      std::size_t limit = slot_limit_.load(std::memory_order_relaxed);
+      while (limit < s + 1 &&
+             !slot_limit_.compare_exchange_weak(limit, s + 1,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+      }
+      tls_worker_id = s;
+      event_counters::global().sched_external_registrations.fetch_add(
+          1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return kNoWorker;  // table full: the caller stays inline-sequential
+}
+
+void scheduler::unregister_external_worker() {
+  const std::size_t id = tls_worker_id;
+  if (id == kNoWorker || id < num_workers_) return;  // native ids persist
+  tls_worker_id = kNoWorker;
+  // The thread is outside any par_do, so its pushes and pops are balanced
+  // and the deque is empty; the release pairs with the next claimer's
+  // acquire CAS so it observes the deque's final indices.
+  slot_claimed_[id].store(false, std::memory_order_release);
+}
 
 void scheduler::set_active_workers(std::size_t n) {
   if (n == 0) n = 1;
@@ -83,19 +125,24 @@ void scheduler::worker_loop(std::size_t id) {
 }
 
 bool scheduler::steal_and_run(std::uint64_t& rng_state) {
-  const std::size_t active = num_active_workers();
+  // Victims span every slot ever claimed: native workers *and* registered
+  // external threads (an external reader's forks are stealable by anyone).
+  // Inactive native slots stay in range — their deques are simply empty.
+  const std::size_t limit = slot_limit_.load(std::memory_order_acquire);
   // A couple of random probes, then a linear sweep so that a lone ready job
   // is always found.
   for (std::size_t attempt = 0; attempt < 2; ++attempt) {
-    const std::size_t victim = mix_rng(rng_state) % active;
+    const std::size_t victim = mix_rng(rng_state) % limit;
     if (internal::job* j = deques_[victim].steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
       j->execute();
       j->done.store(true, std::memory_order_release);
       return true;
     }
   }
-  for (std::size_t victim = 0; victim < active; ++victim) {
+  for (std::size_t victim = 0; victim < limit; ++victim) {
     if (internal::job* j = deques_[victim].steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
       j->execute();
       j->done.store(true, std::memory_order_release);
       return true;

@@ -9,30 +9,51 @@
 //
 // Design (follows the classic child-stealing scheme):
 //  * one worker thread per hardware thread (configurable via the
-//    PARLIB_NUM_WORKERS environment variable or set_num_workers());
-//  * each worker owns a LIFO deque of jobs; the owner pushes and pops at the
-//    back, thieves steal from the front (oldest job = biggest subtree);
+//    PARLIB_NUM_WORKERS environment variable or set_num_workers()); the
+//    thread that first touches the scheduler becomes worker 0, the remaining
+//    workers are spawned threads;
+//  * each participant owns a *lock-free bounded Chase-Lev deque* of jobs
+//    (Chase & Lev, SPAA 2005): the owner pushes and pops at the bottom with
+//    plain release/acquire stores, thieves steal from the top, and only the
+//    race for the last remaining element is arbitrated with a CAS on the top
+//    index. The variant here uses seq_cst accesses at the two Dekker points
+//    (owner's bottom-store/top-load in pop, thief's top-load/bottom-load in
+//    steal) instead of standalone fences, so ThreadSanitizer models the
+//    synchronization exactly. The deque is bounded (kCapacity pending jobs);
+//    on overflow par_do simply runs both branches inline — correct, and in
+//    practice unreachable for the log-depth frames our loops produce;
 //  * par_do(f, g) pushes g, runs f inline, then pops g if nobody stole it;
-//    if g was stolen the waiting worker helps by stealing other jobs until
-//    g's done flag is set;
+//    pop_if verifies the popped job is the one this frame pushed, so a racing
+//    thief can never cause a frame to execute a job belonging to an outer
+//    frame. If g was stolen the waiting frame helps by stealing other jobs
+//    until g's done flag is set;
+//  * *external participation*: any non-scheduler thread (a query-engine
+//    reader, a benchmark writer) can register itself with
+//    register_external_worker() — RAII wrapper: worker_guard — which claims
+//    it a deque slot of its own from a lock-free slot table. From then on its
+//    par_do forks land on its *own* deque (stealable by everyone), and while
+//    waiting for a stolen join it help-steals like a native worker. Threads
+//    that do NOT register get the kNoWorker sentinel id and their par_do runs
+//    both branches inline-sequentially — an unknown thread never enqueues
+//    onto a deque it does not own (the pre-registration design funneled every
+//    foreign fork through deque 0, serializing concurrent queries and
+//    sharing one deque between unrelated threads);
 //  * the number of *active* workers can be lowered at runtime (used by the
 //    benchmark harness to measure T(1) and T(P) in one process): with one
 //    active worker par_do degenerates to sequential calls and no job is ever
-//    enqueued, so a "1-thread" measurement has no scheduling overhead.
-//
-// The deques are mutex-protected. A lock-free Chase-Lev deque would shave
-// constants, but steals are rare for the coarse tasks produced by our
-// granularity-controlled loops, and the mutex version is trivially correct
-// (pop_if verifies the popped job is the one this frame pushed, so a racing
-// thief can never cause a frame to execute a job belonging to an outer frame).
+//    enqueued, so a "1-thread" measurement has no scheduling overhead. The
+//    restriction applies to everyone, external workers included.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <vector>
+
+#include "parlib/counters.h"
 
 namespace parlib {
 
@@ -57,48 +78,111 @@ class func_job final : public job {
   F& f_;
 };
 
-// Owner pushes/pops at the back; thieves steal from the front.
+// Bounded lock-free Chase-Lev deque. Owner pushes/pops at the bottom,
+// thieves steal from the top; indices grow monotonically and wrap into the
+// power-of-two ring by masking. Entries can never be overwritten while a
+// thief may still read them: push refuses when bottom - top reaches the
+// capacity, and a stale thief's CAS on top fails once top has moved on.
+//
+// The pop side is `pop_if(j)`: pop the bottom element only if it is exactly
+// `j`. A frame's pushes and pops are balanced, so when a frame returns to
+// its join point either its own job is still at the bottom, or the job was
+// stolen and the bottom holds an *outer* frame's job — which pop_if must
+// leave in place. This identity check is what makes nested par_do correct
+// without any per-frame bookkeeping.
 class work_deque {
  public:
-  void push(job* j) {
-    std::lock_guard<std::mutex> lk(mutex_);
-    items_.push_back(j);
+  static constexpr std::size_t kCapacity = 1024;  // power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  // Owner only. False when the deque is full (caller runs the job inline).
+  bool push(job* j) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    buffer_[index(b)].store(j, std::memory_order_relaxed);
+    // The release on bottom publishes both the slot write above and the
+    // job's construction (sequenced before push) to acquiring thieves.
+    bottom_.store(b + 1, std::memory_order_release);
+    // Owner-only statistic: single writer, so load+store (not RMW).
+    pushes_.store(pushes_.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_relaxed);
+    return true;
   }
 
-  // Pops the back element only if it is exactly `j`; returns whether it was.
-  // A failed pop_if means a thief stole `j` (our frame's pushes/pops are
-  // balanced, so if `j` is gone the back element belongs to an outer frame).
-  bool pop_if(job* j) {
-    std::lock_guard<std::mutex> lk(mutex_);
-    if (!items_.empty() && items_.back() == j) {
-      items_.pop_back();
-      return true;
+  // Owner only. True iff `expected` was still at the bottom (and is now
+  // removed); false if it was stolen (bottom element, if any, belongs to an
+  // outer frame and stays). The bottom-store/top-load pair is seq_cst: it
+  // forms a Dekker handshake with steal() so that for the last element
+  // exactly one of {owner, thief} proceeds to the CAS arbitration.
+  bool pop_if(const job* expected) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t <= b) {
+      job* j = buffer_[index(b)].load(std::memory_order_relaxed);
+      if (j != expected) {
+        // Our job was stolen; the bottom element is an outer frame's.
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return false;
+      }
+      if (t == b) {
+        // Last element: arbitrate with a concurrent thief via CAS on top.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;  // >= 2 elements: thieves cannot reach the bottom one
     }
+    bottom_.store(b + 1, std::memory_order_relaxed);  // deque was empty
     return false;
   }
 
+  // Any thread. Null when empty or when the CAS race was lost (the caller
+  // probes another victim rather than retrying).
   job* steal() {
-    std::lock_guard<std::mutex> lk(mutex_);
-    if (items_.empty()) return nullptr;
-    job* j = items_.front();
-    items_.erase(items_.begin());
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    job* j = buffer_[index(t)].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
     return j;
   }
 
-  bool empty() const {
-    std::lock_guard<std::mutex> lk(mutex_);
-    return items_.empty();
+  // Jobs ever pushed onto this deque (owner-maintained, monotone across
+  // slot reuse). The scheduler exposes it per slot so callers can assert
+  // *where* forks land — e.g. that a registered reader thread forks onto
+  // its own deque and not deque 0.
+  std::uint64_t pushes() const {
+    return pushes_.load(std::memory_order_relaxed);
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<job*> items_;
+  static std::size_t index(std::int64_t i) {
+    return static_cast<std::size_t>(i) & (kCapacity - 1);
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+  alignas(64) std::atomic<std::uint64_t> pushes_{0};
+  std::array<std::atomic<job*>, kCapacity> buffer_{};
 };
 
 }  // namespace internal
 
 class scheduler {
  public:
+  // Sentinel worker id of a thread the scheduler does not know about.
+  static constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+  // Deque slots reserved for externally registered threads, beyond the
+  // native workers. Registration beyond this returns kNoWorker and the
+  // thread simply stays sequential.
+  static constexpr std::size_t kMaxExternalWorkers = 128;
+
   // The process-wide scheduler. Created on first use with
   // PARLIB_NUM_WORKERS (or hardware_concurrency) workers.
   static scheduler& instance();
@@ -108,12 +192,39 @@ class scheduler {
 
   std::size_t num_workers() const { return num_workers_; }
 
-  // Worker id of the calling thread (0 for the main thread, and for any
-  // thread the scheduler does not know about).
+  // Total deque slots (native workers + external capacity). Slot ids are
+  // always < max_slots().
+  std::size_t max_slots() const {
+    return num_workers_ + kMaxExternalWorkers;
+  }
+
+  // Worker id of the calling thread: 0 for the thread that created the
+  // scheduler, 1..num_workers()-1 for native workers, >= num_workers() for
+  // registered external threads, kNoWorker for everyone else.
+  //
+  // Caveat: worker 0 is bound to the *first thread that touches the
+  // scheduler*, permanently. If that thread is short-lived (e.g. a pool
+  // thread registering via worker_guard before main ever forks), slot 0
+  // is orphaned when it exits and the real main thread stays unregistered
+  // (inline-sequential par_do; sched_unregistered_pardos counts it).
+  // Long-lived host threads should touch instance() before spawning pools
+  // — query_engine's constructor does this for the serving layer.
   std::size_t worker_id() const;
+  bool is_registered() const { return worker_id() != kNoWorker; }
+
+  // Claim a deque slot for the calling thread so its par_do forks onto its
+  // own deque and it help-steals while joining (see worker_guard for the
+  // RAII form). Returns the slot id, the existing id if the thread is
+  // already a worker, or kNoWorker if the external slot table is full (the
+  // thread then keeps running par_do inline-sequentially). A registered
+  // thread must call unregister_external_worker() before exiting, outside
+  // any par_do.
+  std::size_t register_external_worker();
+  void unregister_external_worker();
 
   // Restrict execution to the first `n` workers (1 <= n <= num_workers()).
-  // With n == 1, par_do runs both branches inline sequentially.
+  // With n == 1, par_do runs both branches inline sequentially — for every
+  // thread, external workers included (the T(1) measurement contract).
   void set_active_workers(std::size_t n);
   std::size_t num_active_workers() const {
     return active_workers_.load(std::memory_order_relaxed);
@@ -121,20 +232,43 @@ class scheduler {
 
   template <typename Lf, typename Rf>
   void par_do(Lf&& left, Rf&& right) {
+    const std::size_t id = worker_id();
+    if (id == kNoWorker) {
+      // Unknown thread: never touch a deque we don't own. Counted so the
+      // serving layer can detect readers that forgot to register.
+      event_counters::global().sched_unregistered_pardos.fetch_add(
+          1, std::memory_order_relaxed);
+      left();
+      right();
+      return;
+    }
     if (num_active_workers() == 1) {
       left();
       right();
       return;
     }
     internal::func_job<Rf> rjob(right);
-    const std::size_t id = worker_id();
-    deques_[id].push(&rjob);
+    if (!deques_[id].push(&rjob)) {
+      left();  // deque full: overflow fallback, run both inline
+      right();
+      return;
+    }
     left();
     if (deques_[id].pop_if(&rjob)) {
       rjob.execute();
     } else {
       wait_for(rjob);
     }
+  }
+
+  // Jobs ever pushed onto `slot`'s deque (monotone; see work_deque::pushes).
+  std::uint64_t push_count(std::size_t slot) const {
+    return slot < max_slots() ? deques_[slot].pushes() : 0;
+  }
+
+  // Successful steals across all participants since startup.
+  std::uint64_t total_steals() const {
+    return steals_.load(std::memory_order_relaxed);
   }
 
   ~scheduler();
@@ -153,7 +287,15 @@ class scheduler {
   std::size_t num_workers_;
   std::atomic<std::size_t> active_workers_;
   std::atomic<bool> shutting_down_{false};
-  std::vector<internal::work_deque> deques_;
+  // Fixed slot table: [0, num_workers_) native, the rest claimable by
+  // external threads. Deque storage is preallocated so a slot's deque is
+  // valid for stealing the instant slot_limit_ covers it.
+  std::unique_ptr<internal::work_deque[]> deques_;
+  std::unique_ptr<std::atomic<bool>[]> slot_claimed_;
+  // Upper bound of ever-claimed slots — the victim-scan range. Monotone;
+  // scanning a freed slot is harmless (its deque is empty).
+  std::atomic<std::size_t> slot_limit_;
+  std::atomic<std::uint64_t> steals_{0};
   std::vector<std::thread> threads_;
 };
 
@@ -164,6 +306,19 @@ inline std::size_t num_active_workers() {
 inline std::size_t worker_id() { return scheduler::instance().worker_id(); }
 inline void set_active_workers(std::size_t n) {
   scheduler::instance().set_active_workers(n);
+}
+
+// Index for per-worker scratch arrays, always < max_worker_slots(). Every
+// registered participant has a unique slot; all unregistered threads share
+// the final overflow slot — safe, because par_do from an unregistered
+// thread runs inline, so at most one unregistered thread (the caller)
+// ever executes inside a given parallel region.
+inline std::size_t max_worker_slots() {
+  return scheduler::instance().max_slots() + 1;
+}
+inline std::size_t worker_slot() {
+  const std::size_t id = scheduler::instance().worker_id();
+  return id == scheduler::kNoWorker ? scheduler::instance().max_slots() : id;
 }
 
 // Fork-join: run `left` and `right` in parallel, return when both are done.
@@ -183,6 +338,37 @@ class active_workers_guard {
 
  private:
   std::size_t saved_;
+};
+
+// RAII registration of the calling thread as an external worker: its
+// par_do forks go onto its own deque (at full parallelism, stealable by
+// every participant) instead of running inline-sequentially. No-op if the
+// thread is already a worker, or if the slot table is full (registered()
+// reports which). The serving layer's query_engine holds one per reader
+// thread for the thread's lifetime; short-lived guards are fine too —
+// registration is a bounded CAS scan over the free slots.
+class worker_guard {
+ public:
+  worker_guard()
+      : was_registered_(scheduler::instance().is_registered()),
+        slot_(was_registered_
+                  ? scheduler::instance().worker_id()
+                  : scheduler::instance().register_external_worker()) {}
+  ~worker_guard() {
+    if (!was_registered_ && slot_ != scheduler::kNoWorker) {
+      scheduler::instance().unregister_external_worker();
+    }
+  }
+
+  worker_guard(const worker_guard&) = delete;
+  worker_guard& operator=(const worker_guard&) = delete;
+
+  bool registered() const { return slot_ != scheduler::kNoWorker; }
+  std::size_t slot() const { return slot_; }
+
+ private:
+  bool was_registered_;
+  std::size_t slot_;
 };
 
 }  // namespace parlib

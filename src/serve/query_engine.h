@@ -32,11 +32,27 @@
 // kind — the numbers run_serve prints and bench_serve -json emits, so
 // per-kind latency regressions surface in CI.
 //
-// Queries that internally use parallel algorithms (bfs/kcore/triangles)
-// run on the shared parlib work-stealing scheduler; reader threads are
-// not scheduler workers, but par_do from foreign threads is safe (jobs
-// enqueue on deque 0, pop_if validates identity) — concurrent queries
-// simply share the worker pool.
+// Scheduler participation. Every reader thread registers itself with the
+// parlib scheduler (worker_guard) at pool startup, so query-internal
+// par_do forks land on the reader's *own* deque — stealable by native
+// workers and by the other readers' waiting frames — instead of funneling
+// through deque 0 as unknown threads used to. N concurrent analytics
+// queries therefore fork from N distinct deques at full parallelism. The
+// engine measures where forks land (scheduler::push_count on the reader's
+// slot, flushed into parlib::event_counters::sched_reader_forks once per
+// query) so tests and benches can assert the registration is effective.
+//
+// Adaptive stale-routing (options.stale_auto). The fresh analytics path
+// traverses base ⊕ overlay fused per neighbor — never materializing the
+// merged CSR — which is the right trade while the graph keeps changing.
+// But an analytics-heavy stretch on an *unchanged* graph amortizes the
+// version's memoized merge: after stale_auto_threshold consecutive
+// analytics against one (version, epoch), the engine auto-routes further
+// analytics to the latest *published* version's merged CSR — but only
+// when that version covers exactly the same updates as the fresh overlay
+// (snap.updates_ingested == overlay epoch), so routed results are
+// identical to fresh ones and freshness is never silently lost. The
+// manual q.stale flag remains an unconditional override.
 //
 // Lifetime: the engine must be destroyed (or stop()ed) before the
 // snapshot_store / overlay_view it reads from. The destructor finishes
@@ -56,6 +72,8 @@
 #include <utility>
 #include <vector>
 
+#include "parlib/counters.h"
+#include "parlib/scheduler.h"
 #include "serve/overlay_view.h"
 #include "serve/query.h"
 #include "serve/snapshot_store.h"
@@ -77,6 +95,14 @@ struct query_engine_options {
   // analytics to slo_analytics_s. Violations are counted per kind.
   double slo_point_s = 0;
   double slo_analytics_s = 0;
+
+  // Adaptive stale-routing: after `stale_auto_threshold` consecutive
+  // analytics against one unchanged (version, epoch), route further
+  // analytics to the published version's memoized merged CSR — only when
+  // lossless (the published version covers the same updates as the fresh
+  // overlay). The manual query.stale flag still forces the stale path.
+  bool stale_auto = false;
+  std::uint32_t stale_auto_threshold = 4;
 };
 
 template <typename W>
@@ -105,6 +131,11 @@ class query_engine {
                query_engine_options options = {})
       : store_(store), overlay_(overlay), options_(options) {
     if (num_readers == 0) num_readers = 1;
+    // Materialize the scheduler from the constructing thread before any
+    // reader runs: if this were the process's first scheduler touch, a
+    // transient reader thread would otherwise be bound as native worker 0
+    // (see scheduler.h) and orphan that slot at engine shutdown.
+    parlib::scheduler::instance();
     readers_.reserve(num_readers);
     for (std::size_t i = 0; i < num_readers; ++i) {
       readers_.emplace_back([this] { reader_loop(); });
@@ -189,6 +220,20 @@ class query_engine {
     return dropped_;
   }
 
+  // Jobs the reader threads forked onto their *own* scheduler deques while
+  // executing queries (0 if readers could not register, e.g. slot-table
+  // exhaustion, or if every query ran without forking). The per-reader-
+  // deque evidence that concurrent queries don't funnel through deque 0.
+  std::uint64_t reader_forks() const {
+    return reader_forks_.load(std::memory_order_relaxed);
+  }
+
+  // Analytics auto-routed to a published version's memoized merged CSR by
+  // the adaptive stale policy (always 0 unless options.stale_auto).
+  std::uint64_t stale_auto_routed() const {
+    return stale_auto_routed_.load(std::memory_order_relaxed);
+  }
+
   // Per-kind latency/SLO summary over everything completed so far.
   // Counts, maxima, and violations are exact; percentiles are estimated
   // from the bounded reservoir. Index with
@@ -246,7 +291,30 @@ class query_engine {
                             : options_.slo_analytics_s;
   }
 
+  static std::uint64_t stale_state_key(std::uint64_t version,
+                                       std::uint64_t epoch) {
+    return version * 0x9E3779B97F4A7C15ull ^ (epoch + 1);
+  }
+
+  // True once `count` consecutive analytics have executed against the
+  // same (version, epoch) — the signal that the graph is holding still
+  // under an analytics-heavy stretch. Racy by design: concurrent readers
+  // may miscount a little, which only delays or hastens the switch.
+  bool should_route_stale(std::uint64_t key) {
+    if (stale_key_.load(std::memory_order_relaxed) != key) {
+      stale_key_.store(key, std::memory_order_relaxed);
+      stale_run_.store(1, std::memory_order_relaxed);
+      return false;
+    }
+    const std::uint32_t run =
+        stale_run_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return run > options_.stale_auto_threshold;
+  }
+
   void reader_loop() {
+    // Own deque slot for this reader: query-internal forks land here (and
+    // this thread help-steals while joining) instead of running inline.
+    parlib::worker_guard guard;
     for (;;) {
       item it;
       {
@@ -257,13 +325,48 @@ class query_engine {
         queue_.pop_front();
       }
       space_cv_.notify_one();
+      const std::uint64_t forks_before =
+          guard.registered()
+              ? parlib::scheduler::instance().push_count(guard.slot())
+              : 0;
       query_result r;
       if (overlay_ != nullptr && !it.q.stale) {
         // Fresh path: the overlay index current right now (covers every
         // ingest that returned before this read) serves every kind —
         // analytics traverse it fused, no merged-CSR build.
         if (auto idx = overlay_->read()) {
-          r = execute_fresh_query(std::move(idx), it.q);
+          bool served = false;
+          const std::uint64_t skey =
+              options_.stale_auto
+                  ? stale_state_key(idx->base_version, idx->epoch)
+                  : 0;
+          const bool known_unroutable =
+              options_.stale_auto &&
+              stale_unroutable_.load(std::memory_order_relaxed) == skey &&
+              stale_unroutable_version_.load(std::memory_order_relaxed) ==
+                  store_.current_version();
+          if (options_.stale_auto && !is_point_read(it.q.kind) &&
+              should_route_stale(skey) && !known_unroutable) {
+            // Route to the published version's memoized merged CSR, but
+            // only when it covers exactly the overlay's updates — routed
+            // results then equal fresh results, just off a contiguous CSR.
+            // A state whose published version lags is remembered as
+            // unroutable, so later queries skip the futile pin until the
+            // writer publishes again.
+            if (pinned_snapshot<W> snap = store_.pin();
+                snap && snap.updates_ingested() == idx->epoch) {
+              query sq = it.q;
+              sq.stale = true;
+              r = execute_query(snap, sq);
+              stale_auto_routed_.fetch_add(1, std::memory_order_relaxed);
+              served = true;
+            } else {
+              stale_unroutable_version_.store(store_.current_version(),
+                                              std::memory_order_relaxed);
+              stale_unroutable_.store(skey, std::memory_order_relaxed);
+            }
+          }
+          if (!served) r = execute_fresh_query(std::move(idx), it.q);
         } else if (pinned_snapshot<W> snap = store_.pin()) {
           r = execute_query(snap, it.q);
         }
@@ -272,6 +375,17 @@ class query_engine {
         // sees it regardless of how far ingest advances while it runs.
         if (pinned_snapshot<W> snap = store_.pin()) {
           r = execute_query(snap, it.q);
+        }
+      }
+      if (guard.registered()) {
+        const std::uint64_t forks =
+            parlib::scheduler::instance().push_count(guard.slot()) -
+            forks_before;
+        if (forks != 0) {
+          // One atomic add per query, not per fork (counters.h contract).
+          reader_forks_.fetch_add(forks, std::memory_order_relaxed);
+          parlib::event_counters::global().sched_reader_forks.fetch_add(
+              forks, std::memory_order_relaxed);
         }
       }
       r.latency_s = std::chrono::duration<double>(
@@ -324,6 +438,14 @@ class query_engine {
   std::array<std::uint64_t, kNumQueryKinds> slo_violations_{};
   std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
   bool stopping_ = false;
+
+  std::atomic<std::uint64_t> reader_forks_{0};
+  std::atomic<std::uint64_t> stale_auto_routed_{0};
+  // Adaptive stale-routing run detection (racy-by-design, see above).
+  std::atomic<std::uint64_t> stale_key_{0};
+  std::atomic<std::uint32_t> stale_run_{0};
+  std::atomic<std::uint64_t> stale_unroutable_{0};
+  std::atomic<std::uint64_t> stale_unroutable_version_{0};
 };
 
 }  // namespace gbbs::serve

@@ -567,4 +567,70 @@ TEST(Serve, ConsistencyUnderConcurrentIngest) {
   EXPECT_EQ(mgr.store().live_versions(), 1u);
 }
 
+// Adaptive stale-routing: repeat analytics on an unchanged (version,
+// epoch) switch to the published version's memoized merged CSR once the
+// run exceeds the threshold — with identical results, since routing only
+// happens when the published version covers the same updates.
+TEST(QueryEngine, StaleAutoRoutesRepeatAnalyticsLosslessly) {
+  const vertex_id n = 10;
+  snapshot_manager<empty_weight> mgr(n);
+  std::vector<uw_edge> path;
+  for (vertex_id u = 0; u + 1 < n; ++u) path.push_back({u, u + 1, {}});
+  mgr.ingest(inserts(path));
+  mgr.publish();
+
+  gbbs::serve::query_engine_options opts;
+  opts.stale_auto = true;
+  opts.stale_auto_threshold = 3;
+  query_engine<empty_weight> engine(mgr.store(), &mgr.overlay(),
+                                    /*num_readers=*/2, opts);
+  for (int i = 0; i < 20; ++i) {
+    auto r =
+        engine.submit({query_kind::bfs_distance, 0, n - 1, false}).get();
+    EXPECT_EQ(r.value, static_cast<std::uint64_t>(n - 1)) << i;
+  }
+  // The run of identical analytics on one unchanged version amortized the
+  // merge: later queries were routed to the memoized merged CSR.
+  EXPECT_GT(engine.stale_auto_routed(), 0u);
+}
+
+// Freshness is never silently lost: once ingest advances past the last
+// published version, the auto-router's lossless condition fails and
+// analytics keep seeing the *fresh* overlay (the unpublished shortcut
+// edge), threshold long exceeded or not.
+TEST(QueryEngine, StaleAutoNeverServesStaleResults) {
+  const vertex_id n = 10;
+  snapshot_manager<empty_weight> mgr(n);
+  std::vector<uw_edge> path;
+  for (vertex_id u = 0; u + 1 < n; ++u) path.push_back({u, u + 1, {}});
+  mgr.ingest(inserts(path));
+  mgr.publish();
+
+  gbbs::serve::query_engine_options opts;
+  opts.stale_auto = true;
+  opts.stale_auto_threshold = 2;
+  query_engine<empty_weight> engine(mgr.store(), &mgr.overlay(),
+                                    /*num_readers=*/2, opts);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(
+        engine.submit({query_kind::bfs_distance, 0, n - 1, false})
+            .get()
+            .value,
+        static_cast<std::uint64_t>(n - 1));
+  }
+  EXPECT_GT(engine.stale_auto_routed(), 0u);
+
+  // Unpublished shortcut: fresh distance drops to 1; the published merged
+  // CSR still says n-1, so routing there would be visibly stale.
+  mgr.ingest(inserts({{0, n - 1, {}}}));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(
+        engine.submit({query_kind::bfs_distance, 0, n - 1, false})
+            .get()
+            .value,
+        1u)
+        << "auto-routing served a stale result";
+  }
+}
+
 }  // namespace

@@ -17,6 +17,12 @@
 //                     connectivity refinement) in the query mix
 //   -no-fresh         disable the overlay fresh path: every query executes
 //                     against pinned published versions only
+//   -stale-auto       adaptive stale-routing: after a few consecutive
+//                     analytics on an unchanged (version, epoch), route
+//                     further analytics to the published version's memoized
+//                     merged CSR (lossless — only when it covers the same
+//                     updates as the fresh overlay); q.stale stays a manual
+//                     override
 //   -slo-point <ms>       latency SLO for point reads (0 = off)
 //   -slo-analytics <ms>   latency SLO for traversal analytics (0 = off)
 //   -verify           after the trace: check the final version's CSR edge
@@ -55,6 +61,7 @@ int main(int argc, char** argv) {
   double read_ratio = 0.5;
   bool heavy = false;
   bool fresh = true;
+  bool stale_auto = false;
   double slo_point_ms = 0;
   double slo_analytics_ms = 0;
   for (int i = 1; i < argc; ++i) {
@@ -68,6 +75,8 @@ int main(int argc, char** argv) {
       heavy = true;
     } else if (!std::strcmp(argv[i], "-no-fresh")) {
       fresh = false;
+    } else if (!std::strcmp(argv[i], "-stale-auto")) {
+      stale_auto = true;
     } else if (!std::strcmp(argv[i], "-slo-point") && i + 1 < argc) {
       slo_point_ms = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-slo-analytics") && i + 1 < argc) {
@@ -84,9 +93,10 @@ int main(int argc, char** argv) {
   auto stream_edges = gbbs::dynamic::undirected_stream_edges(g);
   std::printf(
       "serve: n=%u, %zu streamed edges, batch=%zu, readers=%zu, "
-      "%zu queries/batch%s%s\n",
+      "%zu queries/batch%s%s%s\n",
       n, stream_edges.size(), batch_size, readers, queries_per_batch,
-      heavy ? " (heavy mix)" : "", fresh ? "" : " (no fresh path)");
+      heavy ? " (heavy mix)" : "", fresh ? "" : " (no fresh path)",
+      stale_auto ? " (stale-auto)" : "");
 
   tools::run_rounds("serve", o, [&]() {
     gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
@@ -98,9 +108,11 @@ int main(int argc, char** argv) {
     gbbs::serve::query_engine_options opts;
     opts.slo_point_s = slo_point_ms / 1e3;
     opts.slo_analytics_s = slo_analytics_ms / 1e3;
+    opts.stale_auto = stale_auto;
     std::array<gbbs::serve::query_engine<empty_weight>::kind_stats,
                gbbs::serve::kNumQueryKinds>
         kinds{};
+    std::uint64_t reader_forks = 0, auto_routed = 0;
     {
       gbbs::serve::query_engine<empty_weight> engine(
           mgr.store(), fresh ? &mgr.overlay() : nullptr, readers, opts);
@@ -120,6 +132,8 @@ int main(int argc, char** argv) {
         engine.drain();
       });
       kinds = engine.latency_by_kind();
+      reader_forks = engine.reader_forks();
+      auto_routed = engine.stale_auto_routed();
     }
 
     std::vector<double> latencies;
@@ -142,6 +156,12 @@ int main(int argc, char** argv) {
                   kinds[k].max_s * 1e3,
                   static_cast<unsigned long long>(kinds[k].slo_violations));
     }
+
+    // Scheduler participation: forks reader threads placed on their own
+    // deques (and how many analytics the adaptive policy routed stale).
+    std::printf("reader-deque forks %llu | stale-auto routes %llu\n",
+                static_cast<unsigned long long>(reader_forks),
+                static_cast<unsigned long long>(auto_routed));
 
     char buf[240];
     std::snprintf(
