@@ -18,6 +18,7 @@
 #include "graph/compression/compressed_graph.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
+#include "obs/stats.h"
 #include "parlib/scheduler.h"
 
 namespace bench {
@@ -49,43 +50,19 @@ double time_best(F&& f, int reps = 3) {
 }
 
 // ---- percentile / latency statistics -------------------------------------
-// Shared by bench_serve, bench_dynamic, and tools/run_serve: summarize a
-// sample of durations (or any scalar) into mean + tail percentiles.
+// Shared by bench_serve, bench_dynamic, and tools/run_serve. The
+// implementation lives in obs/stats.h — the same interpolation the obs
+// histograms and the query engine's per-kind stats use — so there is one
+// percentile definition across benches, tools, and the metrics registry.
 
-struct sample_stats {
-  std::size_t count = 0;
-  double mean = 0;
-  double p50 = 0;
-  double p90 = 0;
-  double p99 = 0;
-  double max = 0;
-};
+using sample_stats = gbbs::obs::sample_stats;
 
-// Linearly interpolated percentile (q in [0, 1]) of an ascending-sorted
-// sample (numpy-style; for {1,2,3,4} at q=0.5 this is 2.5, not the
-// nearest-rank 2).
 inline double percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0;
-  const double rank = q * static_cast<double>(sorted.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  return gbbs::obs::percentile(sorted, q);
 }
 
 inline sample_stats summarize(std::vector<double> samples) {
-  sample_stats s;
-  s.count = samples.size();
-  if (samples.empty()) return s;
-  std::sort(samples.begin(), samples.end());
-  double sum = 0;
-  for (double x : samples) sum += x;
-  s.mean = sum / static_cast<double>(samples.size());
-  s.p50 = percentile(samples, 0.50);
-  s.p90 = percentile(samples, 0.90);
-  s.p99 = percentile(samples, 0.99);
-  s.max = samples.back();
-  return s;
+  return gbbs::obs::summarize(std::move(samples));
 }
 
 // ---- machine-readable results (-json <path>) ------------------------------

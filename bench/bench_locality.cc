@@ -29,12 +29,15 @@ int main() {
     const double t_hist = bench::time_with_workers(
         parlib::num_workers(),
         [&] { gbbs::kcore(sg.sym, gbbs::kcore_variant::histogram); }, 2);
-    const auto hist_calls = ctr.histogram_calls.load();
+    // Read through snapshot(): consistent against a concurrent reset()
+    // (not an issue in this single-threaded harness, but it keeps every
+    // reader on the one sanctioned read path).
+    const auto hist_calls = ctr.snapshot().histogram_calls;
     ctr.reset();
     const double t_fa = bench::time_with_workers(
         parlib::num_workers(),
         [&] { gbbs::kcore(sg.sym, gbbs::kcore_variant::fetch_and_add); }, 2);
-    const auto fa_ops = ctr.fetch_add_ops.load();
+    const auto fa_ops = ctr.snapshot().fetch_add_ops;
     std::printf("%-14s %-26s %12.4f %16llu %10s\n", sg.name.c_str(),
                 "k-core (histogram)", t_hist,
                 static_cast<unsigned long long>(hist_calls), "");
@@ -50,12 +53,12 @@ int main() {
     const double t_blocked = bench::time_with_workers(
         parlib::num_workers(),
         [&] { gbbs::wbfs(sg.sym_weighted, src, /*use_blocked=*/true); }, 2);
-    const auto blocked_writes = ctr.edgemap_slots_written.load();
+    const auto blocked_writes = ctr.snapshot().edgemap_slots_written;
     ctr.reset();
     const double t_plain = bench::time_with_workers(
         parlib::num_workers(),
         [&] { gbbs::wbfs(sg.sym_weighted, src, /*use_blocked=*/false); }, 2);
-    const auto plain_writes = ctr.edgemap_slots_written.load();
+    const auto plain_writes = ctr.snapshot().edgemap_slots_written;
     std::printf("%-14s %-26s %12.4f %16llu %10s\n", sg.name.c_str(),
                 "wBFS (blocked)", t_blocked,
                 static_cast<unsigned long long>(blocked_writes), "");

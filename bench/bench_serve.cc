@@ -233,7 +233,13 @@ int main(int argc, char** argv) {
                 .field("count", static_cast<std::uint64_t>(ks.count))
                 .field("p50_ms", ks.p50_s * 1e3)
                 .field("p99_ms", ks.p99_s * 1e3)
-                .field("max_ms", ks.max_s * 1e3));
+                .field("max_ms", ks.max_s * 1e3)
+                // Stage decomposition (obs histograms): end-to-end =
+                // queue wait + view selection + execute.
+                .field("queue_p50_ms", ks.queue_p50_s * 1e3)
+                .field("queue_p99_ms", ks.queue_p99_s * 1e3)
+                .field("exec_p50_ms", ks.exec_p50_s * 1e3)
+                .field("exec_p99_ms", ks.exec_p99_s * 1e3));
       }
     }
   }

@@ -54,6 +54,7 @@
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 #include "graph/graph_view.h"
+#include "obs/trace.h"
 #include "parlib/parallel.h"
 #include "parlib/sequence_ops.h"
 
@@ -244,8 +245,18 @@ class dynamic_graph {
   // apply it. Returns the normalized batch so callers (e.g. the
   // connectivity tracker) can reuse it without re-normalizing.
   update_batch<W> apply(std::vector<update<W>> raw) {
-    auto batch = make_batch(std::move(raw), symmetric_);
-    apply_batch(batch);
+    // The two ingest-pipeline stages owned by this layer (span taxonomy
+    // in obs/trace.h): raw -> normalized batch, then the overlay merge.
+    static obs::histogram& h_normalize = obs::stage("ingest.normalize");
+    static obs::histogram& h_apply = obs::stage("ingest.apply");
+    update_batch<W> batch = [&] {
+      obs::trace_span span(h_normalize);
+      return make_batch(std::move(raw), symmetric_);
+    }();
+    {
+      obs::trace_span span(h_apply);
+      apply_batch(batch);
+    }
     return batch;
   }
 

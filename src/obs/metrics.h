@@ -1,0 +1,288 @@
+// Metric primitives for the observability layer: worker-sharded counters
+// and histograms plus a plain gauge.
+//
+// Sharding contract. Hot-path increments must never contend: both counter
+// and histogram keep one cache-line-padded cell per scheduler deque slot
+// (parlib::worker_slot(), PR 5's slot table), so a native worker, a
+// registered external thread (query-engine reader, bench writer), and the
+// shared overflow slot for unregistered threads each write their own
+// line. All writes are relaxed fetch_adds — uncontended on an owned line,
+// still correct on the overflow slot, and readable from any thread.
+// Reads aggregate across the cells; they are O(slots) and meant for
+// export/snapshot frequency, not per-operation frequency.
+//
+// Histogram buckets. Log-linear ("HDR-lite") layout over nanoseconds:
+// values below 8 ns get exact unit buckets, every power-of-two octave
+// above is split into 8 linear sub-buckets, so any recorded duration
+// falls in a bucket at most 12.5% wide (quantile estimates are within
+// ~6% relative of the true sample quantile — verified against the exact
+// obs::percentile reference in tests/test_obs.cc). count / sum / max are
+// exact. Per-slot bucket blocks are allocated lazily on a slot's first
+// record, so memory scales with actual participants, not the slot-table
+// capacity.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "parlib/scheduler.h"
+
+namespace gbbs::obs {
+
+namespace detail {
+
+// Relaxed atomic max (CAS loop; at most a few iterations under contention,
+// and the common case — own slot — never loops).
+inline void store_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+// Monotone event counter, sharded per worker slot. add() is one relaxed
+// fetch_add on the caller's own cache line; value() sums the cells.
+class counter {
+ public:
+  counter() : num_cells_(parlib::max_worker_slots()),
+              cells_(new cell[num_cells_]) {}
+
+  counter(const counter&) = delete;
+  counter& operator=(const counter&) = delete;
+
+  void add(std::uint64_t d = 1) {
+    cells_[parlib::worker_slot()].v.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < num_cells_; ++i) {
+      sum += cells_[i].v.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::size_t num_cells_;
+  std::unique_ptr<cell[]> cells_;
+};
+
+// Last-writer-wins instantaneous value (occupancy, sizes, config knobs).
+class gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Lock-free duration histogram, sharded per worker slot (see file header
+// for the bucket layout). Values are recorded in seconds and stored as
+// nanosecond buckets.
+class histogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 linear sub-buckets per octave
+  static constexpr std::size_t kSubBuckets = std::size_t{1} << kSubBits;
+  // Max index: octave 63 -> (63 - kSubBits + 1) * 8 + 7.
+  static constexpr std::size_t kBuckets = (64 - kSubBits + 1) * kSubBuckets;
+
+  histogram() : num_slots_(parlib::max_worker_slots()),
+                slots_(new std::atomic<cells*>[num_slots_]) {
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      slots_[i].store(nullptr, std::memory_order_relaxed);
+    }
+  }
+
+  histogram(const histogram&) = delete;
+  histogram& operator=(const histogram&) = delete;
+
+  ~histogram() {
+    for (std::size_t i = 0; i < num_slots_; ++i) {
+      delete slots_[i].load(std::memory_order_relaxed);
+    }
+  }
+
+  void record_s(double seconds) {
+    if (seconds < 0) seconds = 0;
+    record_ns(static_cast<std::uint64_t>(seconds * 1e9));
+  }
+
+  void record_ns(std::uint64_t ns) {
+    cells& c = my_cells();
+    c.bucket[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+    c.count.fetch_add(1, std::memory_order_relaxed);
+    c.sum_ns.fetch_add(ns, std::memory_order_relaxed);
+    detail::store_max(c.max_ns, ns);
+  }
+
+  // Cross-slot (or cross-histogram) aggregation target; summaries are
+  // computed from one of these so multiple histograms registered under
+  // one name can be folded together before estimating quantiles.
+  struct aggregation {
+    std::uint64_t bucket[kBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+
+  struct summary {
+    std::uint64_t count = 0;
+    double sum_s = 0;
+    double max_s = 0;
+    double p50_s = 0;
+    double p90_s = 0;
+    double p99_s = 0;
+  };
+
+  // Fold this histogram's cells into `agg`. Safe concurrently with
+  // record_s; a racing record may or may not be included (each cell field
+  // is read once, relaxed).
+  void accumulate(aggregation& agg) const {
+    for (std::size_t s = 0; s < num_slots_; ++s) {
+      const cells* c = slots_[s].load(std::memory_order_acquire);
+      if (c == nullptr) continue;
+      for (std::size_t b = 0; b < kBuckets; ++b) {
+        agg.bucket[b] += c->bucket[b].load(std::memory_order_relaxed);
+      }
+      agg.count += c->count.load(std::memory_order_relaxed);
+      agg.sum_ns += c->sum_ns.load(std::memory_order_relaxed);
+      const std::uint64_t mx = c->max_ns.load(std::memory_order_relaxed);
+      if (mx > agg.max_ns) agg.max_ns = mx;
+    }
+  }
+
+  static summary summarize(const aggregation& agg) {
+    summary s;
+    s.count = agg.count;
+    if (agg.count == 0) return s;
+    s.sum_s = static_cast<double>(agg.sum_ns) / 1e9;
+    s.max_s = static_cast<double>(agg.max_ns) / 1e9;
+    s.p50_s = quantile(agg, 0.50);
+    s.p90_s = quantile(agg, 0.90);
+    s.p99_s = quantile(agg, 0.99);
+    return s;
+  }
+
+  summary read() const {
+    aggregation agg;
+    accumulate(agg);
+    return summarize(agg);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < num_slots_; ++s) {
+      const cells* c = slots_[s].load(std::memory_order_acquire);
+      if (c != nullptr) total += c->count.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // Fold another histogram's current contents into this one's cells (used
+  // by the registry to preserve a detaching engine's stats). Records from
+  // the calling thread's slot; not atomic with respect to concurrent
+  // writers on `other`.
+  void merge_from(const histogram& other) {
+    aggregation agg;
+    other.accumulate(agg);
+    if (agg.count == 0) return;
+    cells& c = my_cells();
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (agg.bucket[b] != 0) {
+        c.bucket[b].fetch_add(agg.bucket[b], std::memory_order_relaxed);
+      }
+    }
+    c.count.fetch_add(agg.count, std::memory_order_relaxed);
+    c.sum_ns.fetch_add(agg.sum_ns, std::memory_order_relaxed);
+    detail::store_max(c.max_ns, agg.max_ns);
+  }
+
+  static std::size_t bucket_index(std::uint64_t ns) {
+    if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+    const int e = std::bit_width(ns) - 1;  // ns in [2^e, 2^(e+1)), e >= 3
+    const std::size_t sub = static_cast<std::size_t>(
+        (ns >> (e - kSubBits)) - kSubBuckets);
+    return static_cast<std::size_t>(e - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+ private:
+  struct cells {
+    std::atomic<std::uint64_t> bucket[kBuckets] = {};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_ns{0};
+    std::atomic<std::uint64_t> max_ns{0};
+  };
+
+  cells& my_cells() {
+    const std::size_t slot = parlib::worker_slot();
+    cells* c = slots_[slot].load(std::memory_order_acquire);
+    if (c == nullptr) {
+      auto* fresh = new cells();
+      cells* expected = nullptr;
+      if (slots_[slot].compare_exchange_strong(expected, fresh,
+                                               std::memory_order_acq_rel)) {
+        c = fresh;
+      } else {
+        delete fresh;  // another thread on the shared overflow slot won
+        c = expected;
+      }
+    }
+    return *c;
+  }
+
+  // Bucket bounds: inverse of bucket_index.
+  static void bucket_bounds(std::size_t idx, std::uint64_t* lo,
+                            std::uint64_t* hi) {
+    if (idx < kSubBuckets) {
+      *lo = idx;
+      *hi = idx + 1;
+      return;
+    }
+    const std::size_t block = idx / kSubBuckets;  // >= 1
+    const std::size_t sub = idx % kSubBuckets;
+    const int e = static_cast<int>(block) + kSubBits - 1;
+    const std::uint64_t width = std::uint64_t{1} << (e - kSubBits);
+    *lo = (std::uint64_t{1} << e) + sub * width;
+    *hi = *lo + width;
+  }
+
+  // Quantile by rank walk over the aggregated buckets, linearly
+  // interpolated within the landing bucket (the same interpolation
+  // obs::percentile applies to raw samples, at bucket granularity).
+  static double quantile(const aggregation& agg, double q) {
+    const double rank =
+        q * static_cast<double>(agg.count > 0 ? agg.count - 1 : 0);
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      const std::uint64_t in_bucket = agg.bucket[b];
+      if (in_bucket == 0) continue;
+      if (static_cast<double>(seen + in_bucket) > rank) {
+        std::uint64_t lo, hi;
+        bucket_bounds(b, &lo, &hi);
+        const double frac =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(in_bucket);
+        const double ns = static_cast<double>(lo) +
+                          frac * static_cast<double>(hi - lo);
+        return ns / 1e9;
+      }
+      seen += in_bucket;
+    }
+    return static_cast<double>(agg.max_ns) / 1e9;
+  }
+
+  std::size_t num_slots_;
+  std::unique_ptr<std::atomic<cells*>[]> slots_;
+};
+
+}  // namespace gbbs::obs

@@ -1,0 +1,170 @@
+// Live introspection exports for the serving tools:
+//
+//   * metrics_server — a trivial TCP listener answering any HTTP request
+//     with the registry's Prometheus-style text exposition, so a running
+//     run_serve / run_stream can be inspected without restarting:
+//       curl localhost:<port>/metrics
+//     One accept thread, one request per connection, no keep-alive, no
+//     routing — deliberately minimal (an observability endpoint must not
+//     compete with the serving threads it observes).
+//
+//   * metrics_json_writer — periodic + at-exit JSON snapshots of the
+//     registry to a file (run_serve -metrics-json), written atomically
+//     (tmp + rename) so CI validation and dashboards never read a torn
+//     document.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/registry.h"
+
+namespace gbbs::obs {
+
+class metrics_server {
+ public:
+  // Binds 0.0.0.0:<port> (port 0 = kernel-assigned, see port()). On
+  // failure ok() is false and the server is inert.
+  explicit metrics_server(std::uint16_t port) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return;
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 16) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                      &len) == 0) {
+      port_ = ntohs(addr.sin_port);
+    }
+    thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  metrics_server(const metrics_server&) = delete;
+  metrics_server& operator=(const metrics_server&) = delete;
+
+  ~metrics_server() {
+    stop_.store(true, std::memory_order_release);
+    if (thread_.joinable()) thread_.join();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void accept_loop() {
+    while (!stop_.load(std::memory_order_acquire)) {
+      pollfd pfd{listen_fd_, POLLIN, 0};
+      const int r = ::poll(&pfd, 1, /*timeout_ms=*/200);
+      if (r <= 0 || (pfd.revents & POLLIN) == 0) continue;
+      const int conn = ::accept(listen_fd_, nullptr, nullptr);
+      if (conn < 0) continue;
+      serve_one(conn);
+      ::close(conn);
+    }
+  }
+
+  static void serve_one(int conn) {
+    // Drain (and ignore) the request line/headers; any request gets the
+    // full exposition.
+    char req[1024];
+    (void)::recv(conn, req, sizeof(req), 0);
+    const std::string body =
+        registry::to_prometheus(registry::global().read());
+    char header[128];
+    std::snprintf(header, sizeof(header),
+                  "HTTP/1.0 200 OK\r\n"
+                  "Content-Type: text/plain; version=0.0.4\r\n"
+                  "Content-Length: %zu\r\n\r\n",
+                  body.size());
+    send_all(conn, header, std::strlen(header));
+    send_all(conn, body.data(), body.size());
+  }
+
+  static void send_all(int fd, const char* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+      const ssize_t w = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+      if (w <= 0) return;
+      sent += static_cast<std::size_t>(w);
+    }
+  }
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+class metrics_json_writer {
+ public:
+  // Writes a snapshot every `period_s` seconds (0 = at-exit only) and a
+  // final one on destruction.
+  explicit metrics_json_writer(std::string path, double period_s = 5.0)
+      : path_(std::move(path)), period_s_(period_s) {
+    if (period_s_ > 0) {
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+
+  metrics_json_writer(const metrics_json_writer&) = delete;
+  metrics_json_writer& operator=(const metrics_json_writer&) = delete;
+
+  ~metrics_json_writer() {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    write_now();  // the at-exit snapshot
+  }
+
+  bool write_now() const { return registry::global().write_json(path_); }
+  const std::string& path() const { return path_; }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lk(mutex_);
+    for (;;) {
+      cv_.wait_for(lk, std::chrono::duration<double>(period_s_),
+                   [this] { return stop_; });
+      if (stop_) return;
+      lk.unlock();
+      write_now();
+      lk.lock();
+    }
+  }
+
+  std::string path_;
+  double period_s_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace gbbs::obs

@@ -1,0 +1,51 @@
+// Shared percentile / sample-summary helpers — the single implementation
+// behind bench_common.h's latency tables, the obs histogram's bucket
+// quantiles, and the query engine's per-kind stats. Before the obs layer
+// these interpolation routines were duplicated (bench_common.h's
+// percentile() vs query_engine.h's private interpolate()); everything now
+// funnels through here.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace gbbs::obs {
+
+// Linearly interpolated percentile (q in [0, 1]) of an ascending-sorted
+// sample (numpy-style; for {1,2,3,4} at q=0.5 this is 2.5, not the
+// nearest-rank 2).
+inline double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+struct sample_stats {
+  std::size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+inline sample_stats summarize(std::vector<double> samples) {
+  sample_stats s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0;
+  for (double x : samples) sum += x;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = percentile(samples, 0.50);
+  s.p90 = percentile(samples, 0.90);
+  s.p99 = percentile(samples, 0.99);
+  s.max = samples.back();
+  return s;
+}
+
+}  // namespace gbbs::obs

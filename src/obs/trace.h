@@ -1,0 +1,71 @@
+// Pipeline trace spans: RAII timers that record a stage's duration into a
+// registry-owned histogram named "span.<stage>".
+//
+// Stage names are a *stable contract* (dashboards and the CI-archived
+// metrics JSON key on them — see README "Observability"):
+//   ingest.normalize        raw batch -> sorted, deduped, mirrored batch
+//   ingest.apply            delta-overlay merge of a normalized batch
+//   ingest.connectivity     incremental connectivity + link tracking
+//   ingest.overlay_refresh  overlay-index distill + seqlock publish
+//   ingest.publish          version publish into the snapshot store
+// Query-side stages (queue wait -> view selection -> execute) are
+// per-kind and live under "serve.query.*", attached by the query engine.
+//
+// Spans nest: a thread-local depth tracks containment (purely
+// observational — children are not linked to parents; each stage
+// histogram stands alone). Cost per span: one steady_clock read at open,
+// one at close, plus a sharded histogram record — cheap enough for
+// per-batch and per-query granularity, not meant for per-edge loops.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+
+namespace gbbs::obs {
+
+// Resolve (get-or-create) the histogram for a stage name. One mutex-guarded
+// map lookup — call sites on hot paths cache the reference:
+//   static obs::histogram& h = obs::stage("ingest.apply");
+inline histogram& stage(const char* name) {
+  return registry::global().get_histogram(std::string("span.") + name);
+}
+
+class trace_span {
+ public:
+  explicit trace_span(histogram& h)
+      : hist_(&h), start_(std::chrono::steady_clock::now()) {
+    ++depth_ref();
+  }
+  explicit trace_span(const char* stage_name)
+      : trace_span(stage(stage_name)) {}
+
+  trace_span(const trace_span&) = delete;
+  trace_span& operator=(const trace_span&) = delete;
+
+  ~trace_span() {
+    --depth_ref();
+    hist_->record_s(elapsed_s());
+  }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  // Current nesting depth of open spans on this thread (0 outside any).
+  static int depth() { return depth_ref(); }
+
+ private:
+  static int& depth_ref() {
+    thread_local int depth = 0;
+    return depth;
+  }
+
+  histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace gbbs::obs

@@ -7,12 +7,36 @@
 //     histogram invocations of the low-contention variant.
 // Counters are updated with one atomic add per block/round (never per edge),
 // so enabling them does not perturb the measurement.
+//
+// Readers should take a snapshot() — one seqlock-consistent read of every
+// field — rather than loading fields one by one: a field-by-field read
+// racing a concurrent reset() observes some fields zeroed and others not
+// (the pre-obs torn-read bug). snapshot() retries while a reset is in
+// flight, so a snapshot is always entirely pre-reset or entirely
+// post-reset. Snapshots remain racy against in-flight *increments* (each
+// field is read once, relaxed) — inherent and fine for monitoring. The
+// obs registry (src/obs/registry.h) exports these counters through this
+// path; it is the read side every tool should use.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
 namespace parlib {
+
+// Plain-value copy of every event counter, taken at one consistent point
+// with respect to reset().
+struct event_counters_snapshot {
+  std::uint64_t edgemap_slots_written = 0;
+  std::uint64_t edgemap_edges_examined = 0;
+  std::uint64_t fetch_add_ops = 0;
+  std::uint64_t histogram_calls = 0;
+  std::uint64_t merged_csr_materializations = 0;
+  std::uint64_t sched_external_registrations = 0;
+  std::uint64_t sched_unregistered_pardos = 0;
+  std::uint64_t sched_reader_forks = 0;
+  std::uint64_t sched_inline_fallbacks = 0;
+};
 
 struct event_counters {
   std::atomic<std::uint64_t> edgemap_slots_written{0};
@@ -31,26 +55,78 @@ struct event_counters {
   // jobs reader threads pushed onto their *own* deques, flushed by the
   // query engine once per query — the counter that proves concurrent
   // queries fork onto per-reader deques instead of funneling through
-  // deque 0.
+  // deque 0. Inline fallbacks counts par_dos that ran both branches
+  // inline because the owner's deque was full (capacity overflow — in
+  // practice unreachable for log-depth frames; non-zero sustained values
+  // mean a workload is forking linearly).
   std::atomic<std::uint64_t> sched_external_registrations{0};
   std::atomic<std::uint64_t> sched_unregistered_pardos{0};
   std::atomic<std::uint64_t> sched_reader_forks{0};
+  std::atomic<std::uint64_t> sched_inline_fallbacks{0};
 
+  // Consistent read of every field (see file header): never observes a
+  // half-applied reset.
+  event_counters_snapshot snapshot() const {
+    for (;;) {
+      std::uint64_t g1 = reset_gen_.load(std::memory_order_acquire);
+      if (g1 & 1) continue;  // reset in flight; retry
+      event_counters_snapshot s;
+      s.edgemap_slots_written =
+          edgemap_slots_written.load(std::memory_order_relaxed);
+      s.edgemap_edges_examined =
+          edgemap_edges_examined.load(std::memory_order_relaxed);
+      s.fetch_add_ops = fetch_add_ops.load(std::memory_order_relaxed);
+      s.histogram_calls = histogram_calls.load(std::memory_order_relaxed);
+      s.merged_csr_materializations =
+          merged_csr_materializations.load(std::memory_order_relaxed);
+      s.sched_external_registrations =
+          sched_external_registrations.load(std::memory_order_relaxed);
+      s.sched_unregistered_pardos =
+          sched_unregistered_pardos.load(std::memory_order_relaxed);
+      s.sched_reader_forks =
+          sched_reader_forks.load(std::memory_order_relaxed);
+      s.sched_inline_fallbacks =
+          sched_inline_fallbacks.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (reset_gen_.load(std::memory_order_relaxed) == g1) return s;
+    }
+  }
+
+  // Zero every counter. Seqlock-guarded: concurrent snapshot() calls
+  // retry instead of observing a mix of old and zeroed fields; concurrent
+  // reset() calls serialize on the generation word.
   void reset() {
-    edgemap_slots_written = 0;
-    edgemap_edges_examined = 0;
-    fetch_add_ops = 0;
-    histogram_calls = 0;
-    merged_csr_materializations = 0;
-    sched_external_registrations = 0;
-    sched_unregistered_pardos = 0;
-    sched_reader_forks = 0;
+    std::uint64_t g = reset_gen_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (g & 1) {  // another reset in flight; wait for it
+        g = reset_gen_.load(std::memory_order_relaxed);
+        continue;
+      }
+      if (reset_gen_.compare_exchange_weak(g, g + 1,
+                                           std::memory_order_acquire)) {
+        break;
+      }
+    }
+    edgemap_slots_written.store(0, std::memory_order_relaxed);
+    edgemap_edges_examined.store(0, std::memory_order_relaxed);
+    fetch_add_ops.store(0, std::memory_order_relaxed);
+    histogram_calls.store(0, std::memory_order_relaxed);
+    merged_csr_materializations.store(0, std::memory_order_relaxed);
+    sched_external_registrations.store(0, std::memory_order_relaxed);
+    sched_unregistered_pardos.store(0, std::memory_order_relaxed);
+    sched_reader_forks.store(0, std::memory_order_relaxed);
+    sched_inline_fallbacks.store(0, std::memory_order_relaxed);
+    reset_gen_.store(g + 2, std::memory_order_release);
   }
 
   static event_counters& global() {
     static event_counters c;
     return c;
   }
+
+ private:
+  // Even: stable; odd: a reset is rewriting the fields.
+  std::atomic<std::uint64_t> reset_gen_{0};
 };
 
 }  // namespace parlib

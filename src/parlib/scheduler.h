@@ -161,6 +161,14 @@ class work_deque {
     return pushes_.load(std::memory_order_relaxed);
   }
 
+  // Approximate pending-job count (racy by nature; an occupancy gauge for
+  // the observability layer, not a synchronization primitive).
+  std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
  private:
   static std::size_t index(std::int64_t i) {
     return static_cast<std::size_t>(i) & (kCapacity - 1);
@@ -249,7 +257,11 @@ class scheduler {
     }
     internal::func_job<Rf> rjob(right);
     if (!deques_[id].push(&rjob)) {
-      left();  // deque full: overflow fallback, run both inline
+      // Deque full: overflow fallback, run both inline. Counted so the
+      // obs layer can surface workloads that fork deeper than the deque.
+      event_counters::global().sched_inline_fallbacks.fetch_add(
+          1, std::memory_order_relaxed);
+      left();
       right();
       return;
     }
@@ -269,6 +281,18 @@ class scheduler {
   // Successful steals across all participants since startup.
   std::uint64_t total_steals() const {
     return steals_.load(std::memory_order_relaxed);
+  }
+
+  // Approximate pending jobs on one deque / across every ever-claimed
+  // slot (the obs layer's occupancy gauge). Racy reads by design.
+  std::size_t deque_occupancy(std::size_t slot) const {
+    return slot < max_slots() ? deques_[slot].size() : 0;
+  }
+  std::size_t total_deque_occupancy() const {
+    std::size_t total = 0;
+    const std::size_t limit = slot_limit_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < limit; ++i) total += deques_[i].size();
+    return total;
   }
 
   ~scheduler();

@@ -22,15 +22,22 @@
 // immediately with result.rejected = true (dropped() counts them);
 // `block` makes submit wait for space — backpressure on the producer.
 //
-// SLO accounting. The engine keeps a *bounded reservoir* of per-kind
-// latency samples (submit -> completion, the client-observed number;
-// algorithm-R reservoir sampling caps memory at a few thousand samples
-// per kind no matter how long the engine serves, while counts, maxima,
-// and SLO violations stay exact) and, when the options carry SLO targets
-// (one for point reads, one for analytics), counts per-kind violations.
-// latency_by_kind() summarizes count / p50 / p99 / max / violations per
-// kind — the numbers run_serve prints and bench_serve -json emits, so
-// per-kind latency regressions surface in CI.
+// SLO + stage accounting (the obs layer). Every query is decomposed into
+// the three pipeline stages — queue wait (submit -> dequeue), view
+// selection (dequeue -> overlay read / version pin / stale-routing
+// decision), execute — and each stage plus the total client-observed
+// latency is recorded into worker-sharded obs::histograms (bounded
+// memory, exact counts/maxima, bucket-estimated percentiles; one lock-free
+// sharded increment per stage on the hot path). The per-kind histograms
+// are attached to the global obs registry as "serve.query.*" for the
+// -metrics-json / live-endpoint exports, and fold into registry-owned
+// totals when the engine is destroyed. When the options carry SLO targets
+// (one for point reads, one for analytics), per-kind violations are
+// counted exactly. latency_by_kind() summarizes count / p50 / p99 / max /
+// violations plus the queue-wait and execute breakdown per kind — the
+// numbers run_serve prints and bench_serve -json emits, so per-kind
+// latency regressions (and submit-queue backpressure, previously hidden
+// inside the total) surface in CI.
 //
 // Scheduler participation. Every reader thread registers itself with the
 // parlib scheduler (worker_guard) at pool startup, so query-internal
@@ -60,18 +67,21 @@
 // becomes ready.
 #pragma once
 
-#include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
 #include "parlib/counters.h"
 #include "parlib/scheduler.h"
 #include "serve/overlay_view.h"
@@ -108,14 +118,21 @@ struct query_engine_options {
 template <typename W>
 class query_engine {
  public:
-  // Per-kind latency summary (seconds). Percentiles are linearly
-  // interpolated over all completed samples of that kind.
+  // Per-kind latency summary (seconds). Counts, maxima, and violations
+  // are exact; percentiles are estimated from the obs histogram's
+  // log-linear buckets (<= ~6% relative error). The queue/exec pairs
+  // split the total into time waiting in the submit queue vs time
+  // executing, so backpressure from a bounded queue is visible.
   struct kind_stats {
     std::uint64_t count = 0;
     std::uint64_t slo_violations = 0;
     double p50_s = 0;
     double p99_s = 0;
     double max_s = 0;
+    double queue_p50_s = 0;
+    double queue_p99_s = 0;
+    double exec_p50_s = 0;
+    double exec_p99_s = 0;
   };
 
   // Snapshot-only engine: every query pins a published version.
@@ -136,6 +153,21 @@ class query_engine {
     // transient reader thread would otherwise be bound as native worker 0
     // (see scheduler.h) and orphan that slot at engine shutdown.
     parlib::scheduler::instance();
+    // Export the per-kind stage histograms through the obs registry (live
+    // while the engine runs; folded into registry-owned totals on
+    // destruction so at-exit snapshots keep them).
+    auto& reg = obs::registry::global();
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      const std::string kind = query_kind_name(static_cast<query_kind>(k));
+      registrations_.push_back(reg.attach_histogram(
+          "serve.query.latency." + kind, &kind_metrics_[k].latency));
+      registrations_.push_back(reg.attach_histogram(
+          "serve.query.queue_wait." + kind, &kind_metrics_[k].queue_wait));
+      registrations_.push_back(reg.attach_histogram(
+          "serve.query.execute." + kind, &kind_metrics_[k].execute));
+    }
+    registrations_.push_back(
+        reg.attach_histogram("serve.query.view_select", &view_select_));
     readers_.reserve(num_readers);
     for (std::size_t i = 0; i < num_readers; ++i) {
       readers_.emplace_back([this] { reader_loop(); });
@@ -236,26 +268,25 @@ class query_engine {
 
   // Per-kind latency/SLO summary over everything completed so far.
   // Counts, maxima, and violations are exact; percentiles are estimated
-  // from the bounded reservoir. Index with
+  // from the sharded stage histograms. Index with
   // static_cast<std::size_t>(query_kind).
   std::array<kind_stats, kNumQueryKinds> latency_by_kind() const {
-    std::array<kind_reservoir, kNumQueryKinds> res;
     std::array<kind_stats, kNumQueryKinds> out;
-    {
-      std::lock_guard<std::mutex> lk(mutex_);
-      for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
-        res[k] = kind_samples_[k];
-        out[k].slo_violations = slo_violations_[k];
-      }
-    }
     for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
-      auto& s = res[k].samples;
-      out[k].count = res[k].count;
-      if (s.empty()) continue;
-      std::sort(s.begin(), s.end());
-      out[k].p50_s = interpolate(s, 0.50);
-      out[k].p99_s = interpolate(s, 0.99);
-      out[k].max_s = res[k].max_s;
+      const auto total = kind_metrics_[k].latency.read();
+      out[k].count = total.count;
+      out[k].slo_violations =
+          slo_violations_[k].load(std::memory_order_relaxed);
+      if (total.count == 0) continue;
+      out[k].p50_s = total.p50_s;
+      out[k].p99_s = total.p99_s;
+      out[k].max_s = total.max_s;
+      const auto queue = kind_metrics_[k].queue_wait.read();
+      out[k].queue_p50_s = queue.p50_s;
+      out[k].queue_p99_s = queue.p99_s;
+      const auto exec = kind_metrics_[k].execute.read();
+      out[k].exec_p50_s = exec.p50_s;
+      out[k].exec_p99_s = exec.p99_s;
     }
     return out;
   }
@@ -267,24 +298,13 @@ class query_engine {
     std::promise<query_result> promise;
   };
 
-  // Bounded latency reservoir (Vitter's algorithm R): every completed
-  // sample has equal probability of being resident, so percentile
-  // estimates are unbiased while memory stays capped for the engine's
-  // lifetime. count and max_s are exact.
-  struct kind_reservoir {
-    static constexpr std::size_t kCap = std::size_t{1} << 14;
-    std::vector<double> samples;
-    std::uint64_t count = 0;
-    double max_s = 0;
+  // Stage histograms for one query kind (worker-sharded, lock-free on the
+  // record path — see obs/metrics.h).
+  struct kind_metrics {
+    obs::histogram latency;     // submit -> completion (client-observed)
+    obs::histogram queue_wait;  // submit -> dequeue by a reader
+    obs::histogram execute;     // view selected -> result computed
   };
-
-  static double interpolate(const std::vector<double>& sorted, double q) {
-    const double rank = q * static_cast<double>(sorted.size() - 1);
-    const auto lo = static_cast<std::size_t>(rank);
-    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-    return sorted[lo] + (sorted[hi] - sorted[lo]) *
-                            (rank - static_cast<double>(lo));
-  }
 
   double slo_for(query_kind k) const {
     return is_point_read(k) ? options_.slo_point_s
@@ -325,6 +345,11 @@ class query_engine {
         queue_.pop_front();
       }
       space_cv_.notify_one();
+      const auto dequeued = std::chrono::steady_clock::now();
+      // Set right before the query's algorithm runs, in whichever branch
+      // serves it: [dequeued, exec_start) is view selection (overlay read
+      // / version pin / stale-routing), [exec_start, done) is execution.
+      auto exec_start = dequeued;
       const std::uint64_t forks_before =
           guard.registered()
               ? parlib::scheduler::instance().push_count(guard.slot())
@@ -357,6 +382,7 @@ class query_engine {
                 snap && snap.updates_ingested() == idx->epoch) {
               query sq = it.q;
               sq.stale = true;
+              exec_start = std::chrono::steady_clock::now();
               r = execute_query(snap, sq);
               stale_auto_routed_.fetch_add(1, std::memory_order_relaxed);
               served = true;
@@ -366,14 +392,19 @@ class query_engine {
               stale_unroutable_.store(skey, std::memory_order_relaxed);
             }
           }
-          if (!served) r = execute_fresh_query(std::move(idx), it.q);
+          if (!served) {
+            exec_start = std::chrono::steady_clock::now();
+            r = execute_fresh_query(std::move(idx), it.q);
+          }
         } else if (pinned_snapshot<W> snap = store_.pin()) {
+          exec_start = std::chrono::steady_clock::now();
           r = execute_query(snap, it.q);
         }
       } else {
         // Versioned path: pin the version current at execution; the query
         // sees it regardless of how far ingest advances while it runs.
         if (pinned_snapshot<W> snap = store_.pin()) {
+          exec_start = std::chrono::steady_clock::now();
           r = execute_query(snap, it.q);
         }
       }
@@ -388,33 +419,34 @@ class query_engine {
               forks, std::memory_order_relaxed);
         }
       }
-      r.latency_s = std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - it.submitted)
-                        .count();
+      const auto done = std::chrono::steady_clock::now();
+      r.latency_s =
+          std::chrono::duration<double>(done - it.submitted).count();
       const auto kind_slot = static_cast<std::size_t>(it.q.kind);
       const double slo = slo_for(it.q.kind);
       const double latency = r.latency_s;
       it.promise.set_value(std::move(r));
+      // Stage accounting: three sharded histogram records + the engine-
+      // wide view-selection span, all lock-free on this reader's own
+      // cells (obs/metrics.h) — the submit-queue mutex is not touched.
+      if (kind_slot < kNumQueryKinds) {
+        kind_metrics& km = kind_metrics_[kind_slot];
+        km.latency.record_s(latency);
+        km.queue_wait.record_s(
+            std::chrono::duration<double>(dequeued - it.submitted).count());
+        km.execute.record_s(
+            std::chrono::duration<double>(done - exec_start).count());
+        view_select_.record_s(
+            std::chrono::duration<double>(exec_start - dequeued).count());
+        if (slo > 0 && latency > slo) {
+          slo_violations_[kind_slot].fetch_add(1,
+                                               std::memory_order_relaxed);
+        }
+      }
       bool idle;
       {
         std::lock_guard<std::mutex> lk(mutex_);
         ++completed_;
-        if (kind_slot < kNumQueryKinds) {
-          kind_reservoir& res = kind_samples_[kind_slot];
-          ++res.count;
-          res.max_s = std::max(res.max_s, latency);
-          if (res.samples.size() < kind_reservoir::kCap) {
-            res.samples.push_back(latency);
-          } else {
-            // xorshift64: cheap, and only ever advanced under mutex_.
-            rng_state_ ^= rng_state_ << 13;
-            rng_state_ ^= rng_state_ >> 7;
-            rng_state_ ^= rng_state_ << 17;
-            const std::uint64_t j = rng_state_ % res.count;
-            if (j < kind_reservoir::kCap) res.samples[j] = latency;
-          }
-          if (slo > 0 && latency > slo) ++slo_violations_[kind_slot];
-        }
         idle = completed_ == submitted_;
       }
       if (idle) idle_cv_.notify_all();
@@ -426,6 +458,13 @@ class query_engine {
   const query_engine_options options_;
   std::vector<std::thread> readers_;
 
+  // Stage histograms precede registrations_ so the registry detaches (and
+  // folds totals) before they are destroyed.
+  std::array<kind_metrics, kNumQueryKinds> kind_metrics_;
+  obs::histogram view_select_;
+  std::array<std::atomic<std::uint64_t>, kNumQueryKinds> slo_violations_{};
+  std::vector<obs::registry::scoped_attach> registrations_;
+
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
@@ -434,9 +473,6 @@ class query_engine {
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
-  std::array<kind_reservoir, kNumQueryKinds> kind_samples_;
-  std::array<std::uint64_t, kNumQueryKinds> slo_violations_{};
-  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ull;
   bool stopping_ = false;
 
   std::atomic<std::uint64_t> reader_forks_{0};

@@ -48,6 +48,7 @@
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/incremental_connectivity.h"
 #include "dynamic/update_batch.h"
+#include "obs/trace.h"
 #include "serve/component_view.h"
 #include "serve/overlay_view.h"
 #include "serve/snapshot_store.h"
@@ -86,9 +87,15 @@ class snapshot_manager {
   // (O(batch) expected, not O(overlay) — see overlay_view.h).
   void ingest(std::vector<dynamic::update<W>> raw) {
     updates_ingested_ += raw.size();
+    // Normalize + apply spans are recorded inside dg_.apply (the stages
+    // live in dynamic_graph, shared with the non-serving stream tools).
     auto batch = dg_.apply(std::move(raw));
-    cc_.apply(batch, dg_);
-    track_links(batch);
+    {
+      static obs::histogram& h_cc = obs::stage("ingest.connectivity");
+      obs::trace_span span(h_cc);
+      cc_.apply(batch, dg_);
+      track_links(batch);
+    }
     // Distinct updated vertices (the batch is (u, v)-sorted).
     std::vector<vertex_id> touched;
     touched.reserve(batch.updates.size());
@@ -109,6 +116,8 @@ class snapshot_manager {
         last_published_updates_ == updates_ingested_) {
       return store_.current_version();
     }
+    static obs::histogram& h_publish = obs::stage("ingest.publish");
+    obs::trace_span span(h_publish);
     last_published_updates_ = updates_ingested_;
     std::uint64_t v;
     bool compacted = false;
@@ -244,6 +253,8 @@ class snapshot_manager {
   // expected; without, a full O(overlay) rebuild (compaction hand-offs,
   // defensive refreshes).
   void refresh_overlay(const std::vector<vertex_id>* touched = nullptr) {
+    static obs::histogram& h_refresh = obs::stage("ingest.overlay_refresh");
+    obs::trace_span span(h_refresh);
     last_index_ = build_overlay_snapshot(dg_, current_components(),
                                          updates_ingested_,
                                          store_.current_version(),

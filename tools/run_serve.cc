@@ -25,6 +25,14 @@
 //                     override
 //   -slo-point <ms>       latency SLO for point reads (0 = off)
 //   -slo-analytics <ms>   latency SLO for traversal analytics (0 = off)
+//   -metrics-json <path>  export the obs registry as a JSON snapshot:
+//                     periodically (every few seconds) and at exit, written
+//                     atomically (tmp + rename). Contains the ingest stage
+//                     spans, per-kind query latency/queue-wait/execute
+//                     histograms, and scheduler counters.
+//   -metrics-port <p>     serve the same registry as Prometheus-style text
+//                     on a local TCP port for live introspection
+//                     (curl localhost:<p>); 0 picks an ephemeral port
 //   -verify           after the trace: check the final version's CSR edge
 //                     count, its connectivity labels against the static
 //                     connectivity() of the final snapshot, and the
@@ -37,9 +45,13 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+#include <string>
+
 #include "algorithms/connectivity.h"
 #include "bench_common.h"
 #include "dynamic/stream.h"
+#include "obs/metrics_server.h"
 #include "runner.h"
 #include "serve/dynamic_view.h"
 #include "serve/query.h"
@@ -64,6 +76,8 @@ int main(int argc, char** argv) {
   bool stale_auto = false;
   double slo_point_ms = 0;
   double slo_analytics_ms = 0;
+  std::string metrics_json;
+  int metrics_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
@@ -81,12 +95,37 @@ int main(int argc, char** argv) {
       slo_point_ms = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-slo-analytics") && i + 1 < argc) {
       slo_analytics_ms = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "-metrics-json") && i + 1 < argc) {
+      metrics_json = argv[++i];
+    } else if (!std::strcmp(argv[i], "-metrics-port") && i + 1 < argc) {
+      metrics_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     }
   }
   if (batch_size == 0) batch_size = 1;
   if (read_ratio < 0 || read_ratio >= 1) read_ratio = 0.5;
   const std::size_t queries_per_batch = static_cast<std::size_t>(
       static_cast<double>(batch_size) * read_ratio / (1 - read_ratio));
+
+  // Observability exports (tentpole): both views of the same registry —
+  // periodic/at-exit JSON snapshots and a live Prometheus-style endpoint.
+  std::unique_ptr<gbbs::obs::metrics_json_writer> json_writer;
+  if (!metrics_json.empty()) {
+    json_writer =
+        std::make_unique<gbbs::obs::metrics_json_writer>(metrics_json);
+  }
+  std::unique_ptr<gbbs::obs::metrics_server> metrics_srv;
+  if (metrics_port >= 0) {
+    metrics_srv = std::make_unique<gbbs::obs::metrics_server>(
+        static_cast<std::uint16_t>(metrics_port));
+    if (metrics_srv->ok()) {
+      std::printf("metrics endpoint: http://127.0.0.1:%u/metrics\n",
+                  metrics_srv->port());
+    } else {
+      std::fprintf(stderr, "metrics endpoint: failed to bind port %d\n",
+                   metrics_port);
+      metrics_srv.reset();
+    }
+  }
 
   auto g = tools::load_symmetric(o);
   const vertex_id n = g.num_vertices();
@@ -134,6 +173,10 @@ int main(int argc, char** argv) {
       kinds = engine.latency_by_kind();
       reader_forks = engine.reader_forks();
       auto_routed = engine.stale_auto_routed();
+      // Snapshot the registry while the engine (and its attached per-kind
+      // histograms) is still alive so the file holds the full breakdown;
+      // detach-merge preserves them for the at-exit write as well.
+      if (json_writer) json_writer->write_now();
     }
 
     std::vector<double> latencies;
@@ -143,18 +186,24 @@ int main(int argc, char** argv) {
     }
     const auto stats = bench::summarize(std::move(latencies));
 
-    // Per-kind latency / SLO accounting.
-    std::printf("%-20s %10s %10s %10s %10s %9s\n", "kind", "count",
-                "p50(ms)", "p99(ms)", "max(ms)", "slo-viol");
+    // Per-kind latency / SLO accounting, with the end-to-end latency
+    // decomposed into queue wait (submit -> dequeue) and execute: a fat
+    // qw-p99 with a thin exec-p99 means the reader pool is saturated, not
+    // that queries got slower.
+    std::printf("%-20s %8s %9s %9s %9s %9s %9s %9s %8s\n", "kind", "count",
+                "p50(ms)", "p99(ms)", "qw-p50", "qw-p99", "ex-p50", "ex-p99",
+                "slo-viol");
     for (std::size_t k = 0; k < gbbs::serve::kNumQueryKinds; ++k) {
       if (kinds[k].count == 0) continue;
-      std::printf("%-20s %10llu %10.3f %10.3f %10.3f %9llu\n",
-                  gbbs::serve::query_kind_name(
-                      static_cast<gbbs::serve::query_kind>(k)),
-                  static_cast<unsigned long long>(kinds[k].count),
-                  kinds[k].p50_s * 1e3, kinds[k].p99_s * 1e3,
-                  kinds[k].max_s * 1e3,
-                  static_cast<unsigned long long>(kinds[k].slo_violations));
+      std::printf(
+          "%-20s %8llu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %8llu\n",
+          gbbs::serve::query_kind_name(
+              static_cast<gbbs::serve::query_kind>(k)),
+          static_cast<unsigned long long>(kinds[k].count),
+          kinds[k].p50_s * 1e3, kinds[k].p99_s * 1e3,
+          kinds[k].queue_p50_s * 1e3, kinds[k].queue_p99_s * 1e3,
+          kinds[k].exec_p50_s * 1e3, kinds[k].exec_p99_s * 1e3,
+          static_cast<unsigned long long>(kinds[k].slo_violations));
     }
 
     // Scheduler participation: forks reader threads placed on their own

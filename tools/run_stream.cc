@@ -14,14 +14,21 @@
 //                     from-scratch rebuild (insert-only runs) and the
 //                     incremental connectivity partition against the
 //                     static connectivity() on a snapshot.
+//   -metrics-json <path>  export the obs registry (ingest stage spans,
+//                     parlib counters) as JSON, periodically and at exit
+//   -metrics-port <p>     live Prometheus-style text endpoint on a local
+//                     TCP port (0 picks an ephemeral port)
 #include <cstdio>
 #include <cstring>
+#include <memory>
+#include <string>
 
 #include "algorithms/connectivity.h"
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/incremental_connectivity.h"
 #include "dynamic/stream.h"
 #include "graph/graph_builder.h"
+#include "obs/metrics_server.h"
 #include "runner.h"
 
 namespace {
@@ -49,6 +56,8 @@ int main(int argc, char** argv) {
   std::size_t batch_size = std::size_t{1} << 14;
   std::size_t erase_every = 0;
   double compact_threshold = 0;
+  std::string metrics_json;
+  int metrics_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
@@ -56,9 +65,32 @@ int main(int argc, char** argv) {
       erase_every = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-compact-threshold") && i + 1 < argc) {
       compact_threshold = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "-metrics-json") && i + 1 < argc) {
+      metrics_json = argv[++i];
+    } else if (!std::strcmp(argv[i], "-metrics-port") && i + 1 < argc) {
+      metrics_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     }
   }
   if (batch_size == 0) batch_size = 1;
+
+  std::unique_ptr<gbbs::obs::metrics_json_writer> json_writer;
+  if (!metrics_json.empty()) {
+    json_writer =
+        std::make_unique<gbbs::obs::metrics_json_writer>(metrics_json);
+  }
+  std::unique_ptr<gbbs::obs::metrics_server> metrics_srv;
+  if (metrics_port >= 0) {
+    metrics_srv = std::make_unique<gbbs::obs::metrics_server>(
+        static_cast<std::uint16_t>(metrics_port));
+    if (metrics_srv->ok()) {
+      std::printf("metrics endpoint: http://127.0.0.1:%u/metrics\n",
+                  metrics_srv->port());
+    } else {
+      std::fprintf(stderr, "metrics endpoint: failed to bind port %d\n",
+                   metrics_port);
+      metrics_srv.reset();
+    }
+  }
 
   auto g = tools::load_symmetric(o);
   const vertex_id n = g.num_vertices();
