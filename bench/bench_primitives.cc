@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/flight_recorder.h"
 #include "parlib/atomics.h"
 #include "parlib/counters.h"
 #include "parlib/parallel.h"
@@ -142,6 +143,55 @@ void sweep_external(std::vector<bench::json_record>& rows) {
                             native_s > 0 ? registered_s / native_s : 0));
 }
 
+// Flight-recorder overhead: the cost of one hot-path event write with the
+// recorder enabled vs runtime-disabled (one relaxed load + branch — the
+// floor a -DGBBS_FLIGHT_RECORDER=OFF build compiles down past), plus the
+// fork-join sweep re-run with the recorder off to bound what always-on
+// tracing adds per par_do. The enabled number is the contract the README
+// quotes: a low-ns write, safe to leave on in production serving.
+bench::json_record sweep_tracing() {
+  auto& fr = gbbs::obs::flight_recorder::global();
+  const std::size_t reps = 1 << 20;
+  const std::uint32_t name_id = fr.intern("bench.trace_overhead");
+
+  auto emit_loop = [&] {
+    for (std::size_t i = 0; i < reps; ++i) {
+      fr.emit(gbbs::obs::event_type::instant, name_id,
+              static_cast<std::uint64_t>(i));
+    }
+  };
+  const double enabled_s = bench::time_best(emit_loop, 5);
+  fr.set_enabled(false);
+  const double disabled_s = bench::time_best(emit_loop, 5);
+
+  // Fork-join with the recorder off: the delta against sweep_fork_join's
+  // ns_per_fork (recorder on, the default) is the per-fork tracing tax.
+  const std::size_t n = std::size_t{1} << 16;
+  std::vector<std::size_t> out(n);
+  auto body = [&](std::size_t i) { out[i] = i; };
+  const double fork_off_s = bench::time_best(
+      [&] { parlib::parallel_for(0, n, body, 1); }, 5);
+  fr.set_enabled(true);
+  const double fork_on_s = bench::time_best(
+      [&] { parlib::parallel_for(0, n, body, 1); }, 5);
+
+  const double enabled_ns = enabled_s * 1e9 / static_cast<double>(reps);
+  const double disabled_ns = disabled_s * 1e9 / static_cast<double>(reps);
+  const double fork_on_ns = fork_on_s * 1e9 / static_cast<double>(n);
+  const double fork_off_ns = fork_off_s * 1e9 / static_cast<double>(n);
+  std::printf(
+      "tracing: %.1f ns/event enabled, %.1f ns disabled | fork-join "
+      "%.1f ns/fork recorder-on vs %.1f ns recorder-off\n",
+      enabled_ns, disabled_ns, fork_on_ns, fork_off_ns);
+  return bench::json_record()
+      .field("section", std::string("tracing_overhead"))
+      .field("events", static_cast<std::uint64_t>(reps))
+      .field("emit_ns_enabled", enabled_ns)
+      .field("emit_ns_disabled", disabled_ns)
+      .field("fork_ns_recorder_on", fork_on_ns)
+      .field("fork_ns_recorder_off", fork_off_ns);
+}
+
 // Registration churn: worker_guard claim+release cost (the per-thread
 // setup a reader pool pays once, not per query).
 bench::json_record sweep_registration() {
@@ -176,6 +226,7 @@ void run_scheduler_sweeps(const std::string& json_path) {
   rows.push_back(sweep_steals());
   sweep_external(rows);
   rows.push_back(sweep_registration());
+  rows.push_back(sweep_tracing());
   if (!json_path.empty()) {
     bench::write_json(json_path, "bench_scheduler", rows);
   }

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare a freshly generated BENCH json against
+the committed baseline and fail only on *large, systemic* regressions.
+
+Usage:
+    check_perf_regression.py <baseline.json> <fresh.json> [--factor 2.0]
+
+For every (section, metric) group — metrics are the latency-like fields:
+anything named *_p99_ms, *_p99_s, ns_per_*, emit_ns_*, fork_ns_* — the
+gate collects the metric across all sweep rows of that section and
+compares the *medians*: fresh median worse than baseline median * factor
+fails.
+
+Medians-across-rows rather than row-by-row is deliberate: a real
+regression (a lock landed on the hot path, an O(n) crept into publish)
+shifts the whole distribution, while an individual row's p99 on a busy
+or oversubscribed host is a scheduling lottery — measured run-to-run
+wobble on single rows exceeds 5x on the same binary, but the per-section
+medians stay within tens of percent. The 2x default factor keeps the
+gate generous on top of that (shared CI runners are noisy and the
+committed baselines come from a different machine entirely); watch the
+archived artifacts for finer trends.
+
+Tiny absolute medians (< 50 us / 5 ns) are skipped outright: they sit at
+timer-resolution level where any ratio is meaningless. Sections or
+metrics present on only one side are ignored — the gate only compares
+what both sides have.
+"""
+
+import json
+import statistics
+import sys
+
+
+# Metric-name predicates: higher-is-worse latencies the gate watches.
+def is_gated_metric(name):
+    return (
+        name.endswith("_p99_ms")
+        or name.endswith("_p99_s")
+        or name.startswith("ns_per_")
+        or name.startswith("emit_ns_")
+        or name.startswith("fork_ns_")
+    )
+
+
+# Below these absolute values, a ratio says nothing (timer noise).
+MIN_ABS = {"ms": 0.05, "s": 5e-5, "ns": 5.0}
+
+
+def unit_of(name):
+    if name.endswith("_ms"):
+        return "ms"
+    if name.endswith("_s"):
+        return "s"
+    return "ns"
+
+
+def load_groups(path):
+    """{(section, metric): [values across rows]}"""
+    with open(path) as f:
+        doc = json.load(f)
+    groups = {}
+    for row in doc.get("rows", []):
+        section = row.get("section", "")
+        for name, val in row.items():
+            if is_gated_metric(name) and isinstance(val, (int, float)):
+                groups.setdefault((section, name), []).append(val)
+    return groups
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, fresh_path = argv[1], argv[2]
+    factor = 2.0
+    if "--factor" in argv:
+        factor = float(argv[argv.index("--factor") + 1])
+
+    baseline = load_groups(baseline_path)
+    fresh = load_groups(fresh_path)
+
+    compared = 0
+    failures = []
+    for (section, name), fresh_vals in sorted(fresh.items()):
+        base_vals = baseline.get((section, name))
+        if not base_vals:
+            continue  # new measurement: nothing to regress against
+        base_med = statistics.median(base_vals)
+        fresh_med = statistics.median(fresh_vals)
+        floor = MIN_ABS[unit_of(name)]
+        if base_med < floor and fresh_med < floor:
+            continue  # both at timer-resolution level
+        compared += 1
+        limit = max(base_med * factor, floor * factor)
+        if fresh_med > limit:
+            failures.append(
+                f"  {section} :: {name}: median {fresh_med:.6g} "
+                f"(over {len(fresh_vals)} rows) > {factor:g}x baseline "
+                f"median {base_med:.6g} (over {len(base_vals)} rows)"
+            )
+
+    print(
+        f"perf gate: {compared} per-section metric medians compared "
+        f"against {baseline_path} (allowed factor {factor:g}x)"
+    )
+    if failures:
+        print(f"REGRESSIONS ({len(failures)}):")
+        print("\n".join(failures))
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

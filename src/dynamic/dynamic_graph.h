@@ -247,14 +247,15 @@ class dynamic_graph {
   update_batch<W> apply(std::vector<update<W>> raw) {
     // The two ingest-pipeline stages owned by this layer (span taxonomy
     // in obs/trace.h): raw -> normalized batch, then the overlay merge.
-    static obs::histogram& h_normalize = obs::stage("ingest.normalize");
-    static obs::histogram& h_apply = obs::stage("ingest.apply");
+    static const obs::stage_ref s_normalize =
+        obs::stage_named("ingest.normalize");
+    static const obs::stage_ref s_apply = obs::stage_named("ingest.apply");
     update_batch<W> batch = [&] {
-      obs::trace_span span(h_normalize);
+      obs::trace_span span(s_normalize);
       return make_batch(std::move(raw), symmetric_);
     }();
     {
-      obs::trace_span span(h_apply);
+      obs::trace_span span(s_apply);
       apply_batch(batch);
     }
     return batch;

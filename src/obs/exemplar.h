@@ -1,0 +1,253 @@
+// Tail-sampled slow-query exemplars: a bounded store of full per-request
+// event timelines for the slowest requests seen.
+//
+// Aggregate histograms say the p99 is 40 ms; an exemplar says *this*
+// query spent 38 ms queued behind a publish, with the flight-recorder
+// timeline to prove it. The query engine calls maybe_capture() after
+// computing a request's latency; when the latency crosses the configured
+// threshold (-slow-trace-ms) the request's events are pulled out of the
+// flight recorder and retained if they rank among the slowest K — so the
+// worst requests always arrive with their own flame chart, no matter how
+// rare they are (classic tail-based sampling: the decision is made at
+// request *end*, when the latency is known).
+//
+// Capture is mutex-guarded and scans the recorder's rings — fine, because
+// it only runs for over-threshold requests (rare by construction). The
+// store surfaces in three places: the metrics JSON ("slow_query_exemplars"
+// section), the tools' at-exit report, and the Perfetto export (exemplar
+// timelines re-emitted on their own track).
+//
+// Caveat: the recorder's rings are bounded, so a request whose events were
+// already overwritten captures a partial (or empty) timeline — the
+// exemplar still records trace id, label, and latency.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+
+namespace gbbs::obs {
+
+class exemplar_store {
+ public:
+  // Slowest-K bound: small on purpose — exemplars are for eyeballs, the
+  // histograms carry the distribution.
+  static constexpr std::size_t kMaxExemplars = 8;
+  // Per-exemplar timeline bound (a steal-storm request can touch every
+  // ring); the JSON notes how many events were beyond the cap.
+  static constexpr std::size_t kMaxTimelineEvents = 512;
+
+  struct exemplar {
+    std::uint64_t trace_id = 0;
+    std::string label;  // e.g. query kind, or "ingest"
+    double latency_s = 0;
+    std::vector<recorded_event> timeline;  // ts-ordered, possibly truncated
+    std::uint64_t timeline_truncated = 0;  // events dropped by the cap
+  };
+
+  // The process-wide store. Leaked (like the recorder); installs the
+  // metrics-JSON section callback once.
+  static exemplar_store& global() {
+    static exemplar_store* e = [] {
+      auto* store = new exemplar_store();
+      registry::global().add_callback([](metrics_snapshot& s) {
+        s.add_counter("trace.exemplars_captured",
+                      global().captured_count());
+        if (global().threshold_s() >= 0) {
+          s.add_section("slow_query_exemplars", global().to_json());
+        }
+      });
+      return store;
+    }();
+    return *e;
+  }
+
+  // Latency threshold for capture; negative disables (the default — the
+  // tools enable it via -slow-trace-ms).
+  void set_threshold_s(double t) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    threshold_s_ = t;
+  }
+  double threshold_s() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return threshold_s_;
+  }
+
+  // Called at request end with the measured latency. Captures the
+  // request's timeline iff the threshold is enabled, met, and the latency
+  // ranks in the current slowest K. Returns whether it was retained.
+  bool maybe_capture(std::uint64_t trace_id, const std::string& label,
+                     double latency_s) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (threshold_s_ < 0 || latency_s < threshold_s_) return false;
+      if (exemplars_.size() >= kMaxExemplars &&
+          latency_s <= exemplars_.back().latency_s) {
+        return false;  // full, and not slower than the fastest retained
+      }
+    }
+    // Pull the timeline outside the lock (the recorder scan is the
+    // expensive part and is itself thread-safe).
+    std::vector<recorded_event> timeline =
+        flight_recorder::global().snapshot_trace(trace_id);
+    exemplar ex;
+    ex.trace_id = trace_id;
+    ex.label = label;
+    ex.latency_s = latency_s;
+    if (timeline.size() > kMaxTimelineEvents) {
+      ex.timeline_truncated = timeline.size() - kMaxTimelineEvents;
+      timeline.resize(kMaxTimelineEvents);
+    }
+    ex.timeline = std::move(timeline);
+
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (threshold_s_ < 0 || latency_s < threshold_s_) return false;
+    if (exemplars_.size() >= kMaxExemplars &&
+        latency_s <= exemplars_.back().latency_s) {
+      return false;  // re-check: the bar may have moved while we scanned
+    }
+    ++captured_;
+    exemplars_.push_back(std::move(ex));
+    std::sort(exemplars_.begin(), exemplars_.end(),
+              [](const exemplar& a, const exemplar& b) {
+                return a.latency_s > b.latency_s;
+              });
+    if (exemplars_.size() > kMaxExemplars) exemplars_.resize(kMaxExemplars);
+    return true;
+  }
+
+  // Requests ever retained (monotone, counts later-evicted ones too).
+  std::uint64_t captured_count() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return captured_;
+  }
+
+  std::vector<exemplar> snapshot() const {
+    std::lock_guard<std::mutex> lk(mutex_);
+    return exemplars_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    exemplars_.clear();
+    captured_ = 0;
+  }
+
+  // ---- rendering -----------------------------------------------------------
+
+  // JSON for the metrics-snapshot section: threshold, retained exemplars
+  // slowest-first, each with its (tick-calibrated, µs) timeline.
+  std::string to_json() const {
+    const auto& rec = flight_recorder::global();
+    const double npt = rec.ns_per_tick();
+    const std::vector<exemplar> exs = snapshot();
+    const double thr = threshold_s();
+    char buf[256];
+    std::string out = "{";
+    std::snprintf(buf, sizeof(buf),
+                  "\"threshold_ms\": %.6g, \"retained\": %zu, "
+                  "\"exemplars\": [",
+                  thr * 1e3, exs.size());
+    out += buf;
+    for (std::size_t i = 0; i < exs.size(); ++i) {
+      const exemplar& ex = exs[i];
+      out += i == 0 ? "\n    {" : ",\n    {";
+      std::snprintf(buf, sizeof(buf),
+                    "\"trace_id\": %llu, \"label\": \"%s\", "
+                    "\"latency_ms\": %.6g, \"truncated_events\": %llu, "
+                    "\"events\": [",
+                    static_cast<unsigned long long>(ex.trace_id),
+                    ex.label.c_str(), ex.latency_s * 1e3,
+                    static_cast<unsigned long long>(ex.timeline_truncated));
+      out += buf;
+      for (std::size_t j = 0; j < ex.timeline.size(); ++j) {
+        const recorded_event& ev = ex.timeline[j];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"t_us\": %.3f, \"type\": \"%s\", \"name\": \"%s\", "
+            "\"slot\": %u}",
+            j == 0 ? "" : ", ", rec.ticks_to_us(ev.ts_ticks, npt),
+            event_type_name(ev.type), rec.intern_name(ev.arg_a).c_str(),
+            ev.slot);
+        out += buf;
+      }
+      out += "]}";
+    }
+    out += exs.empty() ? "]}" : "\n  ]}";
+    return out;
+  }
+
+  // Human-readable at-exit report for the tools: one line per exemplar
+  // plus a compact stage breakdown of its timeline.
+  std::string report() const {
+    const auto& rec = flight_recorder::global();
+    const double npt = rec.ns_per_tick();
+    const std::vector<exemplar> exs = snapshot();
+    if (exs.empty()) return std::string();
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof(buf),
+                  "slow-query exemplars (threshold %.3g ms, slowest %zu):\n",
+                  threshold_s() * 1e3, exs.size());
+    out += buf;
+    for (const exemplar& ex : exs) {
+      std::snprintf(buf, sizeof(buf),
+                    "  trace %llu  %-20s %9.3f ms  %zu events%s\n",
+                    static_cast<unsigned long long>(ex.trace_id),
+                    ex.label.c_str(), ex.latency_s * 1e3,
+                    ex.timeline.size(),
+                    ex.timeline_truncated != 0 ? " (truncated)" : "");
+      out += buf;
+      // Stage breakdown: pair span_begin/span_end per name id within the
+      // exemplar's own timeline (same thread emits both ends, and spans
+      // of one request do not self-overlap per name).
+      std::vector<std::pair<std::uint32_t, std::uint64_t>> open;
+      std::vector<std::pair<std::string, double>> stages;
+      std::size_t steals = 0;
+      for (const recorded_event& ev : ex.timeline) {
+        if (ev.type == event_type::sched_steal) ++steals;
+        if (ev.type == event_type::span_begin) {
+          open.emplace_back(ev.arg_a, ev.ts_ticks);
+        } else if (ev.type == event_type::span_end) {
+          for (std::size_t k = open.size(); k-- > 0;) {
+            if (open[k].first != ev.arg_a) continue;
+            const double ms =
+                static_cast<double>(ev.ts_ticks - open[k].second) * npt / 1e6;
+            stages.emplace_back(rec.intern_name(ev.arg_a), ms);
+            open.erase(open.begin() + static_cast<std::ptrdiff_t>(k));
+            break;
+          }
+        }
+      }
+      for (const auto& [name, ms] : stages) {
+        std::snprintf(buf, sizeof(buf), "      %-28s %9.3f ms\n",
+                      name.c_str(), ms);
+        out += buf;
+      }
+      if (steals != 0) {
+        std::snprintf(buf, sizeof(buf), "      (%zu steals)\n", steals);
+        out += buf;
+      }
+    }
+    return out;
+  }
+
+  exemplar_store(const exemplar_store&) = delete;
+  exemplar_store& operator=(const exemplar_store&) = delete;
+
+ private:
+  exemplar_store() = default;
+
+  mutable std::mutex mutex_;
+  double threshold_s_ = -1;  // disabled until a tool opts in
+  std::uint64_t captured_ = 0;
+  std::vector<exemplar> exemplars_;  // sorted slowest-first, <= kMaxExemplars
+};
+
+}  // namespace gbbs::obs

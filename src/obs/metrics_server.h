@@ -6,7 +6,10 @@
 //       curl localhost:<port>/metrics
 //     One accept thread, one request per connection, no keep-alive, no
 //     routing — deliberately minimal (an observability endpoint must not
-//     compete with the serving threads it observes).
+//     compete with the serving threads it observes). Minimal is not
+//     fragile, though: the request read is bounded in bytes and time, a
+//     peer that disconnects mid-response costs an EPIPE (MSG_NOSIGNAL),
+//     not a SIGPIPE, and partial writes/EINTR are retried.
 //
 //   * metrics_json_writer — periodic + at-exit JSON snapshots of the
 //     registry to a file (run_serve -metrics-json), written atomically
@@ -15,6 +18,7 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -89,29 +93,72 @@ class metrics_server {
 
   static void serve_one(int conn) {
     // Drain (and ignore) the request line/headers; any request gets the
-    // full exposition.
+    // full exposition. The read is bounded twice over: at most
+    // kMaxRequestBytes consumed, at most kRequestTimeoutMs waited — a
+    // client that connects and sends nothing (or trickles an endless
+    // header) cannot wedge the accept loop. We stop at the header
+    // terminator; a huge request simply has its tail ignored.
     char req[1024];
-    (void)::recv(conn, req, sizeof(req), 0);
+    std::size_t got = 0;
+    int waited_ms = 0;
+    while (got < kMaxRequestBytes && waited_ms < kRequestTimeoutMs) {
+      pollfd pfd{conn, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, kRequestPollMs);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return;  // poll failure: drop the connection, no response
+      }
+      if (pr == 0) {
+        waited_ms += kRequestPollMs;
+        continue;
+      }
+      const ssize_t r = ::recv(conn, req, sizeof(req), 0);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return;  // client reset mid-request
+      }
+      if (r == 0) break;  // orderly shutdown; answer what we got
+      got += static_cast<std::size_t>(r);
+      // End of headers (we never read a body): stop draining.
+      if (std::memchr(req, '\n', static_cast<std::size_t>(r)) != nullptr) {
+        break;
+      }
+    }
     const std::string body =
         registry::to_prometheus(registry::global().read());
     char header[128];
     std::snprintf(header, sizeof(header),
                   "HTTP/1.0 200 OK\r\n"
-                  "Content-Type: text/plain; version=0.0.4\r\n"
-                  "Content-Length: %zu\r\n\r\n",
+                  "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+                  "Content-Length: %zu\r\n"
+                  "Connection: close\r\n\r\n",
                   body.size());
-    send_all(conn, header, std::strlen(header));
-    send_all(conn, body.data(), body.size());
+    if (send_all(conn, header, std::strlen(header))) {
+      send_all(conn, body.data(), body.size());
+    }
+    // Let the client see EOF after the full response rather than a RST
+    // racing the last bytes.
+    ::shutdown(conn, SHUT_WR);
   }
 
-  static void send_all(int fd, const char* data, std::size_t len) {
+  // Loop over partial writes; MSG_NOSIGNAL turns a disconnected peer into
+  // EPIPE instead of a process-killing SIGPIPE, EINTR retries, and any
+  // other error (peer gone mid-response) abandons the write quietly.
+  // Returns whether every byte was handed to the kernel.
+  static bool send_all(int fd, const char* data, std::size_t len) {
     std::size_t sent = 0;
     while (sent < len) {
       const ssize_t w = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
-      if (w <= 0) return;
+      if (w < 0 && errno == EINTR) continue;
+      if (w <= 0) return false;
       sent += static_cast<std::size_t>(w);
     }
+    return true;
   }
+
+  static constexpr std::size_t kMaxRequestBytes = 8 * 1024;
+  static constexpr int kRequestPollMs = 50;
+  static constexpr int kRequestTimeoutMs = 1000;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -44,12 +44,21 @@ struct metrics_snapshot {
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<std::pair<std::string, histogram::summary>> histograms;
+  // Structured extras rendered verbatim into the JSON document as
+  // top-level keys (the value must already be valid JSON). Used by
+  // callback sources whose shape is richer than scalar metrics — e.g.
+  // the slow-query exemplar store's per-request timelines. Omitted from
+  // the Prometheus exposition (text format has no place for them).
+  std::vector<std::pair<std::string, std::string>> sections;
 
   void add_counter(std::string name, std::uint64_t v) {
     counters.emplace_back(std::move(name), v);
   }
   void add_gauge(std::string name, std::int64_t v) {
     gauges.emplace_back(std::move(name), v);
+  }
+  void add_section(std::string name, std::string raw_json) {
+    sections.emplace_back(std::move(name), std::move(raw_json));
   }
 };
 
@@ -159,6 +168,8 @@ class registry {
     std::sort(s.gauges.begin(), s.gauges.end());
     std::sort(s.histograms.begin(), s.histograms.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::sort(s.sections.begin(), s.sections.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     return s;
   }
 
@@ -193,7 +204,11 @@ class registry {
       out += buf;
       first = false;
     }
-    out += "\n  }\n}\n";
+    out += "\n  }";
+    for (const auto& [name, raw] : s.sections) {
+      out += ",\n  \"" + name + "\": " + raw;
+    }
+    out += "\n}\n";
     return out;
   }
 

@@ -16,10 +16,16 @@
 // histogram stands alone). Cost per span: one steady_clock read at open,
 // one at close, plus a sharded histogram record — cheap enough for
 // per-batch and per-query granularity, not meant for per-edge loops.
+//
+// Spans opened on a stage_ref (stage_named) additionally write
+// span_begin/span_end events into the flight recorder, tagged with the
+// thread's current trace id — the per-request timeline view of the same
+// stages (see flight_recorder.h / trace_export.h).
 #pragma once
 
 #include <chrono>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 
@@ -32,6 +38,27 @@ inline histogram& stage(const char* name) {
   return registry::global().get_histogram(std::string("span.") + name);
 }
 
+// A stage resolved for *both* sinks: the aggregate histogram and the
+// flight recorder's interned name id. Call sites cache it once:
+//   static const obs::stage_ref s = obs::stage_named("ingest.apply");
+//   obs::trace_span span(s);
+// A span opened on a stage_ref additionally emits span_begin/span_end
+// events into the per-request timeline (tagged with the thread's current
+// trace id), on top of the histogram record.
+struct stage_ref {
+  histogram* hist;
+  std::uint32_t name_id;
+};
+
+inline stage_ref stage_named(const char* name) {
+  return stage_ref{&stage(name), flight_recorder::global().intern(name)};
+}
+
+// One-off timeline marker (no duration), e.g. a publish decision.
+inline void trace_instant(const stage_ref& s) {
+  flight_recorder::global().emit(event_type::instant, s.name_id);
+}
+
 class trace_span {
  public:
   explicit trace_span(histogram& h)
@@ -40,6 +67,10 @@ class trace_span {
   }
   explicit trace_span(const char* stage_name)
       : trace_span(stage(stage_name)) {}
+  explicit trace_span(const stage_ref& s) : trace_span(*s.hist) {
+    name_id_ = s.name_id;
+    flight_recorder::global().emit(event_type::span_begin, name_id_);
+  }
 
   trace_span(const trace_span&) = delete;
   trace_span& operator=(const trace_span&) = delete;
@@ -47,6 +78,9 @@ class trace_span {
   ~trace_span() {
     --depth_ref();
     hist_->record_s(elapsed_s());
+    if (name_id_ != 0) {
+      flight_recorder::global().emit(event_type::span_end, name_id_);
+    }
   }
 
   double elapsed_s() const {
@@ -66,6 +100,7 @@ class trace_span {
 
   histogram* hist_;
   std::chrono::steady_clock::time_point start_;
+  std::uint32_t name_id_ = 0;  // nonzero: emit span events to the recorder
 };
 
 }  // namespace gbbs::obs

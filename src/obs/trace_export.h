@@ -1,0 +1,253 @@
+// Chrome trace_event / Perfetto JSON export of the flight recorder.
+//
+// Renders a recorder snapshot as the classic {"traceEvents": [...]}
+// document loadable in https://ui.perfetto.dev or chrome://tracing:
+//
+//  * one track (tid) per worker slot, named via "M" metadata events;
+//  * span_begin/span_end -> "B"/"E" duration events (stage name from the
+//    intern table, trace id in args) — the flame chart;
+//  * scheduler events -> thread-scoped "i" instants; a fork that was
+//    stolen additionally draws an "s"->"f" flow arrow from the forking
+//    thread to the thief (paired by job key in timestamp order, with a
+//    fresh synthetic flow id per pairing — job keys are stack addresses
+//    and repeat); the stolen job's run is a "B"/"E" pair on the thief;
+//  * flow_begin/flow_end -> "s"/"f" arrows for request hand-offs (submit
+//    -> reader dequeue), id = the request's trace id;
+//  * retained slow-query exemplars re-render under a second pid with one
+//    track per exemplar, so the slowest requests read as their own
+//    mini flame charts even after the live rings wrapped past them.
+//
+// Timestamps are recorder ticks calibrated to µs at export time.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
+
+namespace gbbs::obs {
+
+namespace trace_export_internal {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Render one event (shared by the live timeline and exemplar tracks).
+// `flow_ids` pairs sched_fork -> sched_steal arrows; null disables them
+// (exemplar tracks re-render only their own request's events, so a flow
+// partner may be absent).
+inline void append_event(std::string& out, const flight_recorder& rec,
+                         const recorded_event& ev, int pid, std::uint64_t tid,
+                         double npt,
+                         std::map<std::uint64_t, std::uint64_t>* flow_ids,
+                         std::uint64_t* next_flow_id) {
+  char buf[384];
+  const double ts = rec.ticks_to_us(ev.ts_ticks, npt);
+  const unsigned long long trace_id =
+      static_cast<unsigned long long>(ev.trace_id);
+  switch (ev.type) {
+    case event_type::span_begin:
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"ph\": \"B\", \"pid\": %d, \"tid\": %llu, "
+                    "\"ts\": %.3f, \"name\": \"%s\", \"cat\": \"stage\", "
+                    "\"args\": {\"trace_id\": %llu}}",
+                    pid, static_cast<unsigned long long>(tid), ts,
+                    json_escape(rec.intern_name(ev.arg_a)).c_str(), trace_id);
+      out += buf;
+      break;
+    case event_type::span_end:
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"ph\": \"E\", \"pid\": %d, \"tid\": %llu, "
+                    "\"ts\": %.3f}",
+                    pid, static_cast<unsigned long long>(tid), ts);
+      out += buf;
+      break;
+    case event_type::instant:
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"ph\": \"i\", \"pid\": %d, \"tid\": %llu, "
+                    "\"ts\": %.3f, \"name\": \"%s\", \"s\": \"t\", "
+                    "\"cat\": \"mark\", \"args\": {\"trace_id\": %llu}}",
+                    pid, static_cast<unsigned long long>(tid), ts,
+                    json_escape(rec.intern_name(ev.arg_a)).c_str(), trace_id);
+      out += buf;
+      break;
+    case event_type::flow_begin:
+    case event_type::flow_end:
+      std::snprintf(
+          buf, sizeof(buf),
+          ",\n{\"ph\": \"%s\", %s\"pid\": %d, \"tid\": %llu, \"ts\": %.3f, "
+          "\"name\": \"request\", \"cat\": \"flow\", \"id\": %llu}",
+          ev.type == event_type::flow_begin ? "s" : "f",
+          ev.type == event_type::flow_begin ? "" : "\"bp\": \"e\", ", pid,
+          static_cast<unsigned long long>(tid), ts,
+          static_cast<unsigned long long>(ev.arg_b));
+      out += buf;
+      break;
+    case event_type::sched_fork:
+    case event_type::sched_steal:
+    case event_type::sched_run_begin:
+    case event_type::sched_run_end:
+    case event_type::sched_inline: {
+      if (ev.type == event_type::sched_run_begin) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\": \"B\", \"pid\": %d, \"tid\": %llu, "
+                      "\"ts\": %.3f, \"name\": \"stolen job\", "
+                      "\"cat\": \"sched\", \"args\": {\"trace_id\": %llu}}",
+                      pid, static_cast<unsigned long long>(tid), ts,
+                      trace_id);
+        out += buf;
+      } else if (ev.type == event_type::sched_run_end) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\": \"E\", \"pid\": %d, \"tid\": %llu, "
+                      "\"ts\": %.3f}",
+                      pid, static_cast<unsigned long long>(tid), ts);
+        out += buf;
+      } else {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"ph\": \"i\", \"pid\": %d, \"tid\": %llu, "
+                      "\"ts\": %.3f, \"name\": \"%s\", \"s\": \"t\", "
+                      "\"cat\": \"sched\", \"args\": {\"trace_id\": %llu}}",
+                      pid, static_cast<unsigned long long>(tid), ts,
+                      event_type_name(ev.type), trace_id);
+        out += buf;
+      }
+      if (flow_ids != nullptr) {
+        if (ev.type == event_type::sched_fork) {
+          (*flow_ids)[ev.arg_b] = (*next_flow_id)++;
+          std::snprintf(buf, sizeof(buf),
+                        ",\n{\"ph\": \"s\", \"pid\": %d, \"tid\": %llu, "
+                        "\"ts\": %.3f, \"name\": \"steal\", "
+                        "\"cat\": \"sched_flow\", \"id\": %llu}",
+                        pid, static_cast<unsigned long long>(tid), ts,
+                        static_cast<unsigned long long>((*flow_ids)[ev.arg_b]));
+          out += buf;
+        } else if (ev.type == event_type::sched_steal) {
+          auto it = flow_ids->find(ev.arg_b);
+          if (it != flow_ids->end()) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ",\n{\"ph\": \"f\", \"bp\": \"e\", \"pid\": %d, "
+                "\"tid\": %llu, \"ts\": %.3f, \"name\": \"steal\", "
+                "\"cat\": \"sched_flow\", \"id\": %llu}",
+                pid, static_cast<unsigned long long>(tid), ts,
+                static_cast<unsigned long long>(it->second));
+            out += buf;
+            flow_ids->erase(it);
+          }
+        }
+      }
+      break;
+    }
+    case event_type::none:
+      break;
+  }
+}
+
+inline void append_thread_name(std::string& out, int pid, std::uint64_t tid,
+                               const std::string& name, bool first) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s{\"ph\": \"M\", \"pid\": %d, \"tid\": %llu, "
+                "\"name\": \"thread_name\", \"args\": {\"name\": \"%s\"}}",
+                first ? "\n" : ",\n", pid,
+                static_cast<unsigned long long>(tid),
+                json_escape(name).c_str());
+  out += buf;
+}
+
+}  // namespace trace_export_internal
+
+// Render the current recorder contents (plus retained exemplars) as a
+// Chrome-trace JSON document.
+inline std::string chrome_trace_json() {
+  using trace_export_internal::append_event;
+  using trace_export_internal::append_thread_name;
+  const flight_recorder& rec = flight_recorder::global();
+  const double npt = rec.ns_per_tick();
+  const std::vector<recorded_event> events = rec.snapshot();
+  auto& sched = parlib::scheduler::instance();
+  const std::size_t overflow_slot = sched.max_slots();
+
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+
+  // Thread-name metadata for every slot that recorded something.
+  std::vector<bool> slot_seen(parlib::max_worker_slots(), false);
+  for (const recorded_event& ev : events) {
+    if (ev.slot < slot_seen.size()) slot_seen[ev.slot] = true;
+  }
+  bool first = true;
+  for (std::size_t s = 0; s < slot_seen.size(); ++s) {
+    if (!slot_seen[s]) continue;
+    char name[64];
+    if (s == overflow_slot) {
+      std::snprintf(name, sizeof(name), "unregistered (overflow slot)");
+    } else if (s < sched.num_workers()) {
+      std::snprintf(name, sizeof(name), "worker %zu", s);
+    } else {
+      std::snprintf(name, sizeof(name), "external %zu", s);
+    }
+    append_thread_name(out, 1, s, name, first);
+    first = false;
+  }
+  if (first) {
+    // Empty recorder: still emit one metadata entry so the document's
+    // traceEvents array is valid, non-degenerate JSON.
+    append_thread_name(out, 1, 0, "worker 0", true);
+  }
+
+  // Live timeline (pid 1), in timestamp order; fork->steal flows paired
+  // globally across slots.
+  std::map<std::uint64_t, std::uint64_t> flow_ids;
+  std::uint64_t next_flow_id = 1u << 20;  // clear of trace-id flow ids
+  for (const recorded_event& ev : events) {
+    append_event(out, rec, ev, 1, ev.slot, npt, &flow_ids, &next_flow_id);
+  }
+
+  // Exemplar tracks (pid 2): slowest requests, one track each.
+  const auto exemplars = exemplar_store::global().snapshot();
+  if (!exemplars.empty()) {
+    append_thread_name(out, 2, 0, "slow-query exemplars", false);
+    std::uint64_t track = 1;
+    for (const auto& ex : exemplars) {
+      char name[128];
+      std::snprintf(name, sizeof(name), "trace %llu: %s (%.3f ms)",
+                    static_cast<unsigned long long>(ex.trace_id),
+                    ex.label.c_str(), ex.latency_s * 1e3);
+      append_thread_name(out, 2, track, name, false);
+      for (const recorded_event& ev : ex.timeline) {
+        append_event(out, rec, ev, 2, track, npt, nullptr, nullptr);
+      }
+      ++track;
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+// Write chrome_trace_json() to `path` (tmp + rename; false on IO error).
+inline bool write_chrome_trace(const std::string& path) {
+  const std::string doc = chrome_trace_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace gbbs::obs

@@ -124,6 +124,27 @@ void scheduler::worker_loop(std::size_t id) {
   }
 }
 
+namespace {
+
+// Run a freshly stolen job on the thief's thread. The thief adopts the
+// job's trace id for the duration — any spans, nested forks, or counters
+// the stolen subtask emits attribute to the request that forked it, not to
+// whatever the thief was doing before — and the steal/run transitions are
+// surfaced to the flight-recorder hook with the job's address as the key
+// so the exporter can draw a fork→steal flow arrow across threads.
+void run_stolen(internal::job* j) {
+  const std::uint64_t tid = j->trace_id;
+  const std::uint64_t key = reinterpret_cast<std::uint64_t>(j);
+  trace::emit_sched_event(trace::sched_event::steal, tid, key);
+  trace::trace_id_scope scope(tid);
+  trace::emit_sched_event(trace::sched_event::run_begin, tid, key);
+  j->execute();
+  trace::emit_sched_event(trace::sched_event::run_end, tid, key);
+  j->done.store(true, std::memory_order_release);
+}
+
+}  // namespace
+
 bool scheduler::steal_and_run(std::uint64_t& rng_state) {
   // Victims span every slot ever claimed: native workers *and* registered
   // external threads (an external reader's forks are stealable by anyone).
@@ -135,16 +156,14 @@ bool scheduler::steal_and_run(std::uint64_t& rng_state) {
     const std::size_t victim = mix_rng(rng_state) % limit;
     if (internal::job* j = deques_[victim].steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
-      j->execute();
-      j->done.store(true, std::memory_order_release);
+      run_stolen(j);
       return true;
     }
   }
   for (std::size_t victim = 0; victim < limit; ++victim) {
     if (internal::job* j = deques_[victim].steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
-      j->execute();
-      j->done.store(true, std::memory_order_release);
+      run_stolen(j);
       return true;
     }
   }

@@ -54,6 +54,7 @@
 #include <vector>
 
 #include "parlib/counters.h"
+#include "parlib/trace_hooks.h"
 
 namespace parlib {
 
@@ -61,11 +62,15 @@ namespace internal {
 
 // A unit of stealable work. Jobs live on the forking frame's stack; `done`
 // is the join flag the forking frame waits on when the job is stolen.
+// `trace_id` is the forking request's trace id (0 = none), stamped before
+// the job is published so a thief can attribute the stolen work — and any
+// events the stolen subtask emits — to the originating request.
 class job {
  public:
   virtual ~job() = default;
   virtual void execute() = 0;
   std::atomic<bool> done{false};
+  std::uint64_t trace_id = 0;
 };
 
 template <typename F>
@@ -256,15 +261,21 @@ class scheduler {
       return;
     }
     internal::func_job<Rf> rjob(right);
+    rjob.trace_id = trace::current_trace_id();
     if (!deques_[id].push(&rjob)) {
       // Deque full: overflow fallback, run both inline. Counted so the
       // obs layer can surface workloads that fork deeper than the deque.
       event_counters::global().sched_inline_fallbacks.fetch_add(
           1, std::memory_order_relaxed);
+      trace::emit_sched_event(trace::sched_event::inline_fallback,
+                              rjob.trace_id,
+                              reinterpret_cast<std::uint64_t>(&rjob));
       left();
       right();
       return;
     }
+    trace::emit_sched_event(trace::sched_event::fork, rjob.trace_id,
+                            reinterpret_cast<std::uint64_t>(&rjob));
     left();
     if (deques_[id].pop_if(&rjob)) {
       rjob.execute();

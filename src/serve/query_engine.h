@@ -80,10 +80,13 @@
 #include <utility>
 #include <vector>
 
+#include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "parlib/counters.h"
 #include "parlib/scheduler.h"
+#include "parlib/trace_hooks.h"
 #include "serve/overlay_view.h"
 #include "serve/query.h"
 #include "serve/snapshot_store.h"
@@ -153,6 +156,17 @@ class query_engine {
     // transient reader thread would otherwise be bound as native worker 0
     // (see scheduler.h) and orphan that slot at engine shutdown.
     parlib::scheduler::instance();
+    // Flight recorder + exemplar store before the first traced query, so
+    // the scheduler hook and registry callbacks are installed (both are
+    // idempotent leaked singletons). Intern the per-kind timeline names
+    // once; the reader loop stamps them on query spans.
+    auto& fr = obs::flight_recorder::global();
+    obs::exemplar_store::global();
+    for (std::size_t k = 0; k < kNumQueryKinds; ++k) {
+      kind_name_ids_[k] = fr.intern(
+          "serve.query." +
+          std::string(query_kind_name(static_cast<query_kind>(k))));
+    }
     // Export the per-kind stage histograms through the obs registry (live
     // while the engine runs; folded into registry-owned totals on
     // destruction so at-exit snapshots keep them).
@@ -189,6 +203,12 @@ class query_engine {
     item it;
     it.q = q;
     it.submitted = std::chrono::steady_clock::now();
+    // Every query is one request timeline: the id set here follows the
+    // query across the queue hand-off (flow events), into the reader's
+    // execute span, and down into any scheduler forks/steals the
+    // algorithm triggers.
+    it.trace_id = obs::flight_recorder::global().next_trace_id();
+    const std::uint64_t trace_id = it.trace_id;
     std::future<query_result> fut = it.promise.get_future();
     {
       std::unique_lock<std::mutex> lk(mutex_);
@@ -216,6 +236,11 @@ class query_engine {
       queue_.push_back(std::move(it));
       ++submitted_;
     }
+    // Flow source on the submitting thread: pairs with the reader's
+    // flow_end at dequeue (flow id = the trace id), drawing the
+    // queue-wait arrow across threads in the Perfetto view.
+    obs::flight_recorder::global().emit_with_id(
+        obs::event_type::flow_begin, trace_id, 0, trace_id);
     work_cv_.notify_one();
     return fut;
   }
@@ -296,6 +321,7 @@ class query_engine {
     query q;
     std::chrono::steady_clock::time_point submitted;
     std::promise<query_result> promise;
+    std::uint64_t trace_id = 0;  // flight-recorder request id
   };
 
   // Stage histograms for one query kind (worker-sharded, lock-free on the
@@ -345,6 +371,17 @@ class query_engine {
         queue_.pop_front();
       }
       space_cv_.notify_one();
+      // Adopt the query's trace id for the rest of this iteration: the
+      // execute span below, and every scheduler fork/steal the query's
+      // par_do triggers (the id rides job::trace_id into thief threads),
+      // all attribute to this request.
+      parlib::trace::trace_id_scope tscope(it.trace_id);
+      auto& fr = obs::flight_recorder::global();
+      fr.emit(obs::event_type::flow_end, 0, it.trace_id);
+      const auto kind_idx = static_cast<std::size_t>(it.q.kind);
+      const std::uint32_t span_name_id =
+          kind_idx < kNumQueryKinds ? kind_name_ids_[kind_idx] : 0;
+      fr.emit(obs::event_type::span_begin, span_name_id);
       const auto dequeued = std::chrono::steady_clock::now();
       // Set right before the query's algorithm runs, in whichever branch
       // serves it: [dequeued, exec_start) is view selection (overlay read
@@ -420,6 +457,7 @@ class query_engine {
         }
       }
       const auto done = std::chrono::steady_clock::now();
+      fr.emit(obs::event_type::span_end, span_name_id);
       r.latency_s =
           std::chrono::duration<double>(done - it.submitted).count();
       const auto kind_slot = static_cast<std::size_t>(it.q.kind);
@@ -443,6 +481,11 @@ class query_engine {
                                                std::memory_order_relaxed);
         }
       }
+      // Tail sampling: now that the latency is known, retain this
+      // request's full timeline if it ranks among the slowest (no-op
+      // unless a threshold was configured — see -slow-trace-ms).
+      obs::exemplar_store::global().maybe_capture(
+          it.trace_id, query_kind_name(it.q.kind), latency);
       bool idle;
       {
         std::lock_guard<std::mutex> lk(mutex_);
@@ -462,6 +505,8 @@ class query_engine {
   // folds totals) before they are destroyed.
   std::array<kind_metrics, kNumQueryKinds> kind_metrics_;
   obs::histogram view_select_;
+  // Interned flight-recorder names for the per-kind query spans.
+  std::array<std::uint32_t, kNumQueryKinds> kind_name_ids_{};
   std::array<std::atomic<std::uint64_t>, kNumQueryKinds> slo_violations_{};
   std::vector<obs::registry::scoped_attach> registrations_;
 

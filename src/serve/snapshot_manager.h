@@ -86,13 +86,20 @@ class snapshot_manager {
   // are rebuilt, every other bucket is shared with the previous snapshot
   // (O(batch) expected, not O(overlay) — see overlay_view.h).
   void ingest(std::vector<dynamic::update<W>> raw) {
+    // Each batch is one request in the flight recorder: every stage span
+    // below (including the ones inside dg_.apply) and every scheduler
+    // event its parallel loops trigger carries this id, so a slow batch
+    // reconstructs as a single timeline.
+    last_ingest_trace_id_ = obs::flight_recorder::global().next_trace_id();
+    parlib::trace::trace_id_scope tscope(last_ingest_trace_id_);
     updates_ingested_ += raw.size();
     // Normalize + apply spans are recorded inside dg_.apply (the stages
     // live in dynamic_graph, shared with the non-serving stream tools).
     auto batch = dg_.apply(std::move(raw));
     {
-      static obs::histogram& h_cc = obs::stage("ingest.connectivity");
-      obs::trace_span span(h_cc);
+      static const obs::stage_ref s_cc =
+          obs::stage_named("ingest.connectivity");
+      obs::trace_span span(s_cc);
       cc_.apply(batch, dg_);
       track_links(batch);
     }
@@ -116,8 +123,12 @@ class snapshot_manager {
         last_published_updates_ == updates_ingested_) {
       return store_.current_version();
     }
-    static obs::histogram& h_publish = obs::stage("ingest.publish");
-    obs::trace_span span(h_publish);
+    // Publish attributes to the batch that made it necessary (the last
+    // ingest's trace id), so an exemplar showing a query stuck behind a
+    // publish points back at the responsible batch.
+    parlib::trace::trace_id_scope tscope(last_ingest_trace_id_);
+    static const obs::stage_ref s_publish = obs::stage_named("ingest.publish");
+    obs::trace_span span(s_publish);
     last_published_updates_ = updates_ingested_;
     std::uint64_t v;
     bool compacted = false;
@@ -157,6 +168,11 @@ class snapshot_manager {
   }
 
   std::uint64_t updates_ingested() const { return updates_ingested_; }
+  // Flight-recorder trace id of the most recent ingest batch (0 before
+  // the first ingest); tests assert timeline attribution through it.
+  std::uint64_t last_ingest_trace_id() const {
+    return last_ingest_trace_id_;
+  }
   std::size_t num_compactions() const { return dg_.num_compactions(); }
   const dynamic::dynamic_graph<W>& live() const { return dg_; }
   dynamic::incremental_connectivity& connectivity() { return cc_; }
@@ -253,8 +269,9 @@ class snapshot_manager {
   // expected; without, a full O(overlay) rebuild (compaction hand-offs,
   // defensive refreshes).
   void refresh_overlay(const std::vector<vertex_id>* touched = nullptr) {
-    static obs::histogram& h_refresh = obs::stage("ingest.overlay_refresh");
-    obs::trace_span span(h_refresh);
+    static const obs::stage_ref s_refresh =
+        obs::stage_named("ingest.overlay_refresh");
+    obs::trace_span span(s_refresh);
     last_index_ = build_overlay_snapshot(dg_, current_components(),
                                          updates_ingested_,
                                          store_.current_version(),
@@ -275,6 +292,7 @@ class snapshot_manager {
   mutable bool components_dirty_ = true;
   std::uint64_t updates_ingested_ = 0;
   std::uint64_t last_published_updates_ = 0;
+  std::uint64_t last_ingest_trace_id_ = 0;
 };
 
 using unweighted_snapshot_manager = snapshot_manager<empty_weight>;

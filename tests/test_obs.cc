@@ -12,8 +12,10 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,13 +28,17 @@
 #include <gtest/gtest.h>
 
 #include "dynamic/update_batch.h"
+#include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/metrics_server.h"
 #include "obs/registry.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "parlib/counters.h"
 #include "parlib/scheduler.h"
+#include "parlib/trace_hooks.h"
 #include "serve/query.h"
 #include "serve/query_engine.h"
 #include "serve/snapshot_manager.h"
@@ -44,9 +50,14 @@ using gbbs::vertex_id;
 using gbbs::obs::histogram;
 
 // Multi-worker scheduler even on 1-core CI hosts (same pattern as
-// test_scheduler.cc) so sharded cells actually spread across slots.
+// test_scheduler.cc) so sharded cells actually spread across slots. A
+// small flight-recorder ring (set before the recorder's lazy init) makes
+// the wraparound test cheap and deterministic.
 struct force_workers {
-  force_workers() { parlib::scheduler::set_num_workers(4); }
+  force_workers() {
+    parlib::scheduler::set_num_workers(4);
+    ::setenv("GBBS_TRACE_EVENTS", "512", 1);
+  }
 };
 const force_workers kForceWorkers;
 
@@ -396,6 +407,58 @@ TEST(ObsMetricsServer, ServesPrometheusTextOverTcp) {
   EXPECT_NE(resp.find("# TYPE"), std::string::npos);
 }
 
+// Hostile clients must not wedge or kill the accept thread: connect-and-
+// close without sending, a partial request followed by close, and a
+// client that never reads the response (SIGPIPE/EPIPE path) — a normal
+// request afterwards is still served.
+TEST(ObsMetricsServer, SurvivesAbusiveClients) {
+  gbbs::obs::metrics_server srv(/*port=*/0);
+  ASSERT_TRUE(srv.ok());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(srv.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  auto dial = [&] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  };
+
+  // 1) Connect and immediately close without sending anything.
+  ::close(dial());
+  // 2) Partial request line, then close mid-request.
+  {
+    const int fd = dial();
+    ::send(fd, "GET /met", 8, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+  // 3) Full request but the client disappears without reading the
+  //    response: the server's sends hit a dead peer (EPIPE, not SIGPIPE).
+  {
+    const int fd = dial();
+    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    ::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL);
+    ::close(fd);
+  }
+
+  // The server is still alive and serves a well-formed response.
+  const int fd = dial();
+  const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, req, sizeof(req) - 1, 0),
+            static_cast<ssize_t>(sizeof(req) - 1));
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("charset=utf-8"), std::string::npos);
+}
+
 // ---- pipeline integration --------------------------------------------------
 
 TEST(ObsPipeline, IngestRecordsStageSpans) {
@@ -482,6 +545,433 @@ TEST(ObsPipeline, QueryEngineReportsQueueWaitBreakdown) {
     if (name.rfind("serve.query.latency.", 0) == 0) snap_total += h.count;
   }
   EXPECT_GE(snap_total, 200u);
+}
+
+// ---- flight recorder -------------------------------------------------------
+
+using gbbs::obs::event_type;
+using gbbs::obs::flight_recorder;
+using gbbs::obs::recorded_event;
+
+// Ring wraparound: with the 512-entry test rings, emitting 3x capacity
+// keeps only the newest events, and the dropped counter accounts for the
+// overwritten ones exactly — wraparound is never silent.
+TEST(FlightRecorder, WraparoundKeepsNewestAndCountsDropped) {
+  auto& fr = flight_recorder::global();
+  ASSERT_EQ(fr.capacity(), 512u);
+  const std::uint64_t tid = fr.next_trace_id();
+  parlib::trace::trace_id_scope scope(tid);
+  const std::uint64_t dropped_before = fr.events_dropped();
+  const std::uint64_t recorded_before = fr.events_recorded();
+  const std::size_t kEmits = 3 * 512;
+  for (std::size_t i = 0; i < kEmits; ++i) {
+    fr.emit(event_type::instant, 0, /*arg_b=*/i);
+  }
+  EXPECT_EQ(fr.events_recorded() - recorded_before, kEmits);
+  // This thread's ring had already absorbed events from earlier tests, so
+  // the drop delta is at least the overflow beyond one full ring.
+  EXPECT_GE(fr.events_dropped() - dropped_before, kEmits - 512);
+
+  const auto timeline = fr.snapshot_trace(tid);
+  ASSERT_FALSE(timeline.empty());
+  EXPECT_LE(timeline.size(), 512u);
+  bool saw_last = false, saw_first = false;
+  for (const auto& ev : timeline) {
+    if (ev.arg_b == kEmits - 1) saw_last = true;
+    if (ev.arg_b == 0) saw_first = true;
+  }
+  EXPECT_TRUE(saw_last);   // newest survives
+  EXPECT_FALSE(saw_first); // oldest was overwritten
+}
+
+// Concurrent writers + snapshots: every decoded event is internally
+// consistent (type in range, trace id one of the writers', payload
+// matching the id), no matter how the snapshot races the wraparound.
+// All event fields are relaxed atomics under a per-entry seqlock — this
+// is the test the TSan CI job leans on.
+TEST(FlightRecorder, ConcurrentWritersAndSnapshotsStayConsistent) {
+  auto& fr = flight_recorder::global();
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 20000;
+  std::array<std::uint64_t, kWriters> ids{};
+  for (int w = 0; w < kWriters; ++w) ids[w] = fr.next_trace_id();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Registered: each writer gets its own ring (single-writer path);
+      // the last writer stays unregistered to also cover the shared
+      // overflow ring's multi-writer fetch_add claim.
+      std::unique_ptr<parlib::worker_guard> guard;
+      if (w != kWriters - 1) {
+        guard = std::make_unique<parlib::worker_guard>();
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        fr.emit_with_id(event_type::instant, ids[w],
+                        static_cast<std::uint32_t>(w), ids[w] ^ i);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      for (const auto& ev : fr.snapshot()) {
+        ASSERT_LE(static_cast<std::uint32_t>(ev.type),
+                  static_cast<std::uint32_t>(event_type::sched_inline));
+        for (int w = 0; w < kWriters; ++w) {
+          if (ev.trace_id != ids[w]) continue;
+          // A decoded entry is never a torn mix of two writes: the
+          // payload must be self-consistent with the trace id.
+          ASSERT_EQ(ev.arg_a, static_cast<std::uint32_t>(w));
+          ASSERT_LT(ev.arg_b ^ ev.trace_id, kPerWriter);
+        }
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+}
+
+// Trace-id propagation across a real steal: a registered external thread
+// forks under a trace id; when a native worker steals the branch, the
+// events emitted *inside the stolen task* — and the scheduler's own
+// run_begin — still carry the originating request's id.
+TEST(FlightRecorder, StolenTaskCarriesOriginatingTraceId) {
+  auto& fr = flight_recorder::global();
+  ASSERT_GE(parlib::scheduler::instance().num_workers(), 2u);
+  const std::uint32_t marker = fr.intern("test.stolen_marker");
+  bool steal_observed = false;
+  for (int attempt = 0; attempt < 300 && !steal_observed; ++attempt) {
+    const std::uint64_t tid = fr.next_trace_id();
+    std::thread th([&] {
+      parlib::worker_guard guard;
+      ASSERT_TRUE(guard.registered());
+      parlib::trace::trace_id_scope scope(tid);
+      std::atomic<bool> right_ran{false};
+      parlib::par_do(
+          [&] {
+            // Give a thief time to grab the right branch; bounded so an
+            // un-stolen attempt finishes quickly and retries.
+            for (std::size_t spin = 0;
+                 spin < (std::size_t{1} << 22) &&
+                 !right_ran.load(std::memory_order_acquire);
+                 ++spin) {
+            }
+          },
+          [&] {
+            // Runs either stolen (on a native worker, trace id adopted
+            // from job::trace_id) or locally (scope still active) — the
+            // emitted event must carry `tid` both ways.
+            fr.emit(event_type::instant, marker, 0);
+            right_ran.store(true, std::memory_order_release);
+          });
+    });
+    th.join();
+    const auto timeline = fr.snapshot_trace(tid);
+    bool marker_ok = false;
+    std::uint32_t marker_slot = 0, steal_slot = 1;
+    bool stolen = false;
+    for (const auto& ev : timeline) {
+      if (ev.type == event_type::instant && ev.arg_a == marker) {
+        marker_ok = true;
+        marker_slot = ev.slot;
+      }
+      if (ev.type == event_type::sched_run_begin) {
+        stolen = true;  // only thieves emit run_begin
+        steal_slot = ev.slot;
+      }
+    }
+    ASSERT_TRUE(marker_ok) << "stolen-or-local marker lost its trace id";
+    if (stolen) {
+      // The steal happened on a different participant than the forker,
+      // yet both the scheduler event and the in-task marker carry tid
+      // (that is what snapshot_trace filtered on).
+      EXPECT_EQ(marker_slot, steal_slot);
+      steal_observed = true;
+    }
+  }
+  EXPECT_TRUE(steal_observed)
+      << "no steal in 300 attempts on a 4-worker scheduler";
+}
+
+// ---- exemplar store --------------------------------------------------------
+
+TEST(ExemplarStore, ThresholdAndBoundedTopK) {
+  auto& store = gbbs::obs::exemplar_store::global();
+  auto& fr = flight_recorder::global();
+  store.clear();
+  store.set_threshold_s(0.010);
+
+  // Below threshold: never captured.
+  EXPECT_FALSE(store.maybe_capture(fr.next_trace_id(), "fast", 0.005));
+  EXPECT_EQ(store.captured_count(), 0u);
+
+  // Above threshold: captured, slowest-first, bounded at kMaxExemplars.
+  const std::size_t kOver = gbbs::obs::exemplar_store::kMaxExemplars + 5;
+  for (std::size_t i = 0; i < kOver; ++i) {
+    const std::uint64_t tid = fr.next_trace_id();
+    parlib::trace::trace_id_scope scope(tid);
+    fr.emit(event_type::instant, fr.intern("test.exemplar_event"), i);
+    EXPECT_TRUE(
+        store.maybe_capture(tid, "slow", 0.010 + 0.001 * (double)(i + 1)));
+  }
+  const auto exs = store.snapshot();
+  ASSERT_EQ(exs.size(), gbbs::obs::exemplar_store::kMaxExemplars);
+  // Slowest retained and sorted descending; each kept its own timeline.
+  for (std::size_t i = 0; i + 1 < exs.size(); ++i) {
+    EXPECT_GE(exs[i].latency_s, exs[i + 1].latency_s);
+  }
+  EXPECT_NEAR(exs.front().latency_s, 0.010 + 0.001 * kOver, 1e-9);
+  for (const auto& ex : exs) {
+    EXPECT_EQ(ex.label, "slow");
+    ASSERT_EQ(ex.timeline.size(), 1u);
+    EXPECT_EQ(ex.timeline[0].trace_id, ex.trace_id);
+  }
+  // A new capture slower than everything displaces the fastest retained;
+  // one not beating the floor is rejected.
+  EXPECT_FALSE(store.maybe_capture(fr.next_trace_id(), "meh", 0.0101));
+  EXPECT_TRUE(store.maybe_capture(fr.next_trace_id(), "worst", 1.0));
+  EXPECT_EQ(store.snapshot().front().label, "worst");
+  EXPECT_EQ(store.snapshot().size(),
+            gbbs::obs::exemplar_store::kMaxExemplars);
+
+  // Disabled store captures nothing.
+  store.set_threshold_s(-1);
+  EXPECT_FALSE(store.maybe_capture(fr.next_trace_id(), "late", 9.0));
+  store.clear();
+}
+
+// End-to-end: a serving session with a zero threshold tail-samples real
+// queries, and each exemplar's timeline is the query's own events (the
+// per-kind execute span from the reader thread).
+TEST(ExemplarStore, CapturesRealQueryTimelines) {
+  auto& store = gbbs::obs::exemplar_store::global();
+  store.clear();
+  store.set_threshold_s(0.0);  // every completed query qualifies
+  {
+    gbbs::serve::snapshot_manager<empty_weight> mgr(64);
+    std::vector<gbbs::dynamic::update<empty_weight>> ups;
+    for (vertex_id v = 0; v + 1 < 64; ++v) {
+      ups.push_back({v, v + 1, {}, gbbs::dynamic::update_op::insert});
+    }
+    mgr.ingest(std::move(ups));
+    mgr.publish();
+    gbbs::serve::query_engine<empty_weight> engine(mgr.store(),
+                                                   &mgr.overlay(), 2);
+    std::vector<std::future<gbbs::serve::query_result>> futs;
+    for (int i = 0; i < 24; ++i) {
+      gbbs::serve::query q;
+      q.kind = gbbs::serve::query_kind::bfs_distance;
+      q.u = static_cast<vertex_id>(i % 64);
+      q.v = static_cast<vertex_id>((i * 7) % 64);
+      futs.push_back(engine.submit(q));
+    }
+    for (auto& f : futs) f.get();
+    engine.drain();
+  }
+  EXPECT_GT(store.captured_count(), 0u);
+  const auto exs = store.snapshot();
+  ASSERT_FALSE(exs.empty());
+  auto& fr = flight_recorder::global();
+  for (const auto& ex : exs) {
+    EXPECT_EQ(ex.label, "bfs_distance");
+    ASSERT_FALSE(ex.timeline.empty());
+    bool saw_query_span = false;
+    for (const auto& ev : ex.timeline) {
+      EXPECT_EQ(ev.trace_id, ex.trace_id);
+      if (ev.type == event_type::span_begin &&
+          fr.intern_name(ev.arg_a) == "serve.query.bfs_distance") {
+        saw_query_span = true;
+      }
+    }
+    EXPECT_TRUE(saw_query_span);
+  }
+  store.set_threshold_s(-1);
+  store.clear();
+}
+
+// Ingest batches get their own trace ids: the batch's pipeline spans all
+// land on the id snapshot_manager assigned.
+TEST(FlightRecorder, IngestBatchTimelineIsAttributed) {
+  gbbs::serve::snapshot_manager<empty_weight> mgr(32);
+  std::vector<gbbs::dynamic::update<empty_weight>> ups;
+  for (vertex_id v = 0; v + 1 < 32; ++v) {
+    ups.push_back({v, v + 1, {}, gbbs::dynamic::update_op::insert});
+  }
+  mgr.ingest(std::move(ups));
+  const std::uint64_t tid = mgr.last_ingest_trace_id();
+  ASSERT_NE(tid, 0u);
+  auto& fr = flight_recorder::global();
+  const auto timeline = fr.snapshot_trace(tid);
+  std::vector<std::string> begun;
+  for (const auto& ev : timeline) {
+    if (ev.type == event_type::span_begin) {
+      begun.push_back(fr.intern_name(ev.arg_a));
+    }
+  }
+  for (const char* want :
+       {"ingest.normalize", "ingest.apply", "ingest.connectivity",
+        "ingest.overlay_refresh"}) {
+    EXPECT_NE(std::find(begun.begin(), begun.end(), want), begun.end())
+        << "missing stage " << want << " in batch timeline";
+  }
+  // publish() reuses the batch's id.
+  mgr.publish();
+  bool publish_span = false;
+  for (const auto& ev : fr.snapshot_trace(tid)) {
+    if (ev.type == event_type::span_begin &&
+        fr.intern_name(ev.arg_a) == "ingest.publish") {
+      publish_span = true;
+    }
+  }
+  EXPECT_TRUE(publish_span);
+}
+
+// ---- Perfetto export -------------------------------------------------------
+
+// Minimal JSON validator (objects/arrays/strings/numbers/literals) — the
+// well-formedness half of what CI's `python3 -m json.tool` checks.
+bool json_skip_value(const char*& p, const char* end);
+
+void json_skip_ws(const char*& p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\n' || *p == '\t' || *p == '\r')) {
+    ++p;
+  }
+}
+
+bool json_skip_string(const char*& p, const char* end) {
+  if (p >= end || *p != '"') return false;
+  ++p;
+  while (p < end && *p != '"') {
+    if (*p == '\\') ++p;
+    ++p;
+  }
+  if (p >= end) return false;
+  ++p;  // closing quote
+  return true;
+}
+
+bool json_skip_members(const char*& p, const char* end, char close,
+                       bool object) {
+  json_skip_ws(p, end);
+  if (p < end && *p == close) {
+    ++p;
+    return true;
+  }
+  for (;;) {
+    json_skip_ws(p, end);
+    if (object) {
+      if (!json_skip_string(p, end)) return false;
+      json_skip_ws(p, end);
+      if (p >= end || *p != ':') return false;
+      ++p;
+    }
+    if (!json_skip_value(p, end)) return false;
+    json_skip_ws(p, end);
+    if (p >= end) return false;
+    if (*p == ',') {
+      ++p;
+      continue;
+    }
+    if (*p == close) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+}
+
+bool json_skip_value(const char*& p, const char* end) {
+  json_skip_ws(p, end);
+  if (p >= end) return false;
+  switch (*p) {
+    case '{':
+      ++p;
+      return json_skip_members(p, end, '}', /*object=*/true);
+    case '[':
+      ++p;
+      return json_skip_members(p, end, ']', /*object=*/false);
+    case '"':
+      return json_skip_string(p, end);
+    default: {
+      static const char* lits[] = {"true", "false", "null"};
+      for (const char* lit : lits) {
+        const std::size_t n = std::strlen(lit);
+        if (static_cast<std::size_t>(end - p) >= n &&
+            std::strncmp(p, lit, n) == 0) {
+          p += n;
+          return true;
+        }
+      }
+      const char* q = p;
+      if (q < end && (*q == '-' || *q == '+')) ++q;
+      bool digits = false;
+      while (q < end && ((*q >= '0' && *q <= '9') || *q == '.' ||
+                         *q == 'e' || *q == 'E' || *q == '-' || *q == '+')) {
+        digits = true;
+        ++q;
+      }
+      if (!digits) return false;
+      p = q;
+      return true;
+    }
+  }
+}
+
+bool is_well_formed_json(const std::string& doc) {
+  const char* p = doc.data();
+  const char* end = p + doc.size();
+  if (!json_skip_value(p, end)) return false;
+  json_skip_ws(p, end);
+  return p == end;
+}
+
+TEST(TraceExport, ChromeTraceIsWellFormedAndCarriesTaxonomy) {
+  // Generate real activity: an ingest (stage spans + parallel forks) and
+  // queries (flow hand-offs + per-kind spans).
+  gbbs::serve::snapshot_manager<empty_weight> mgr(128);
+  std::vector<gbbs::dynamic::update<empty_weight>> ups;
+  for (vertex_id v = 0; v + 1 < 128; ++v) {
+    ups.push_back({v, v + 1, {}, gbbs::dynamic::update_op::insert});
+  }
+  mgr.ingest(std::move(ups));
+  mgr.publish();
+  {
+    gbbs::serve::query_engine<empty_weight> engine(mgr.store(),
+                                                   &mgr.overlay(), 2);
+    std::vector<std::future<gbbs::serve::query_result>> futs;
+    parlib::random rng(7);
+    for (std::size_t i = 0; i < 32; ++i) {
+      futs.push_back(engine.submit(
+          gbbs::serve::make_mixed_query(rng, i, 128, /*heavy=*/false)));
+    }
+    for (auto& f : futs) f.get();
+  }
+  const std::string doc = gbbs::obs::chrome_trace_json();
+  ASSERT_TRUE(is_well_formed_json(doc)) << doc.substr(0, 400);
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  // Duration + metadata + flow phases present, and the stable stage /
+  // scheduler taxonomy made it into the document.
+  for (const char* want :
+       {"\"ph\": \"M\"", "\"ph\": \"B\"", "\"ph\": \"E\"", "\"ph\": \"s\"",
+        "\"ph\": \"f\"", "ingest.normalize", "serve.query.",
+        "\"trace_id\":"}) {
+    EXPECT_NE(doc.find(want), std::string::npos) << "missing " << want;
+  }
+  // Fork events happen on a 4-worker scheduler ingesting 128 vertices;
+  // steal instants depend on timing, so only forks are required.
+  EXPECT_NE(doc.find("sched_fork"), std::string::npos);
+
+  // The registry JSON with an exemplar section stays parseable too.
+  auto& store = gbbs::obs::exemplar_store::global();
+  store.clear();
+  store.set_threshold_s(0.5);
+  const std::string metrics =
+      gbbs::obs::registry::to_json(gbbs::obs::registry::global().read());
+  EXPECT_TRUE(is_well_formed_json(metrics)) << metrics.substr(0, 400);
+  EXPECT_NE(metrics.find("slow_query_exemplars"), std::string::npos);
+  EXPECT_NE(metrics.find("trace.events_recorded"), std::string::npos);
+  store.set_threshold_s(-1);
 }
 
 }  // namespace

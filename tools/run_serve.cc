@@ -33,6 +33,14 @@
 //   -metrics-port <p>     serve the same registry as Prometheus-style text
 //                     on a local TCP port for live introspection
 //                     (curl localhost:<p>); 0 picks an ephemeral port
+//   -trace-out <path>     at exit, export the flight recorder's per-request
+//                     event timelines (ingest stages, query spans, scheduler
+//                     forks/steals, queue hand-off flows) as Chrome-trace /
+//                     Perfetto JSON — load it at https://ui.perfetto.dev
+//   -slow-trace-ms <t>    tail-sampled exemplars: retain the full event
+//                     timeline of every query slower than t ms (bounded,
+//                     slowest-K), reported at exit and embedded in the
+//                     metrics JSON + trace export
 //   -verify           after the trace: check the final version's CSR edge
 //                     count, its connectivity labels against the static
 //                     connectivity() of the final snapshot, and the
@@ -51,7 +59,10 @@
 #include "algorithms/connectivity.h"
 #include "bench_common.h"
 #include "dynamic/stream.h"
+#include "obs/exemplar.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_server.h"
+#include "obs/trace_export.h"
 #include "runner.h"
 #include "serve/dynamic_view.h"
 #include "serve/query.h"
@@ -77,6 +88,8 @@ int main(int argc, char** argv) {
   double slo_point_ms = 0;
   double slo_analytics_ms = 0;
   std::string metrics_json;
+  std::string trace_out;
+  double slow_trace_ms = -1;
   int metrics_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
@@ -99,12 +112,24 @@ int main(int argc, char** argv) {
       metrics_json = argv[++i];
     } else if (!std::strcmp(argv[i], "-metrics-port") && i + 1 < argc) {
       metrics_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "-trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "-slow-trace-ms") && i + 1 < argc) {
+      slow_trace_ms = std::strtod(argv[++i], nullptr);
     }
   }
   if (batch_size == 0) batch_size = 1;
   if (read_ratio < 0 || read_ratio >= 1) read_ratio = 0.5;
   const std::size_t queries_per_batch = static_cast<std::size_t>(
       static_cast<double>(batch_size) * read_ratio / (1 - read_ratio));
+
+  // Flight recorder up before the first traced work (installs the
+  // scheduler hook); exemplar threshold set from the flag (negative keeps
+  // capture disabled).
+  gbbs::obs::ensure_flight_recorder();
+  if (slow_trace_ms >= 0) {
+    gbbs::obs::exemplar_store::global().set_threshold_s(slow_trace_ms / 1e3);
+  }
 
   // Observability exports (tentpole): both views of the same registry —
   // periodic/at-exit JSON snapshots and a live Prometheus-style endpoint.
@@ -242,5 +267,30 @@ int main(int argc, char** argv) {
     }
     return std::string(buf);
   });
+
+  // At-exit observability artifacts: the slowest-query exemplar report
+  // (each retained request with its stage breakdown) and the Perfetto
+  // export of everything the recorder still holds.
+  if (slow_trace_ms >= 0) {
+    const std::string report = gbbs::obs::exemplar_store::global().report();
+    if (report.empty()) {
+      std::printf("slow-query exemplars: none over %.3g ms\n",
+                  slow_trace_ms);
+    } else {
+      std::fputs(report.c_str(), stdout);
+    }
+  }
+  if (!trace_out.empty()) {
+    if (gbbs::obs::write_chrome_trace(trace_out)) {
+      std::printf("trace written: %s (%llu events, %llu dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(
+                      gbbs::obs::flight_recorder::global().events_recorded()),
+                  static_cast<unsigned long long>(
+                      gbbs::obs::flight_recorder::global().events_dropped()));
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", trace_out.c_str());
+    }
+  }
   return 0;
 }

@@ -18,6 +18,9 @@
 //                     parlib counters) as JSON, periodically and at exit
 //   -metrics-port <p>     live Prometheus-style text endpoint on a local
 //                     TCP port (0 picks an ephemeral port)
+//   -trace-out <path>     at exit, export the flight recorder's event
+//                     timelines (per-batch ingest stages + scheduler
+//                     events) as Chrome-trace / Perfetto JSON
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -28,7 +31,10 @@
 #include "dynamic/incremental_connectivity.h"
 #include "dynamic/stream.h"
 #include "graph/graph_builder.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_server.h"
+#include "obs/trace_export.h"
+#include "parlib/trace_hooks.h"
 #include "runner.h"
 
 namespace {
@@ -57,6 +63,7 @@ int main(int argc, char** argv) {
   std::size_t erase_every = 0;
   double compact_threshold = 0;
   std::string metrics_json;
+  std::string trace_out;
   int metrics_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-batch") && i + 1 < argc) {
@@ -69,9 +76,12 @@ int main(int argc, char** argv) {
       metrics_json = argv[++i];
     } else if (!std::strcmp(argv[i], "-metrics-port") && i + 1 < argc) {
       metrics_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "-trace-out") && i + 1 < argc) {
+      trace_out = argv[++i];
     }
   }
   if (batch_size == 0) batch_size = 1;
+  gbbs::obs::ensure_flight_recorder();
 
   std::unique_ptr<gbbs::obs::metrics_json_writer> json_writer;
   if (!metrics_json.empty()) {
@@ -107,6 +117,12 @@ int main(int argc, char** argv) {
     parlib::random rng(o.seed);
     std::size_t batches = 0, rebuilds = 0, updates = 0;
     while (!stream.done()) {
+      // One trace id per batch so the exported timeline groups each
+      // batch's normalize/apply spans and scheduler events causally
+      // (run_serve gets this from snapshot_manager; here the tool drives
+      // dynamic_graph directly).
+      parlib::trace::trace_id_scope tscope(
+          gbbs::obs::flight_recorder::global().next_trace_id());
       auto raw = stream.next_inserts(batch_size);
       updates += raw.size();
       auto batch = dg.apply(std::move(raw));
@@ -147,5 +163,18 @@ int main(int argc, char** argv) {
     }
     return std::string(buf);
   });
+
+  if (!trace_out.empty()) {
+    if (gbbs::obs::write_chrome_trace(trace_out)) {
+      std::printf("trace written: %s (%llu events, %llu dropped)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(
+                      gbbs::obs::flight_recorder::global().events_recorded()),
+                  static_cast<unsigned long long>(
+                      gbbs::obs::flight_recorder::global().events_dropped()));
+    } else {
+      std::fprintf(stderr, "trace export failed: %s\n", trace_out.c_str());
+    }
+  }
   return 0;
 }
