@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "parlib/cancellation.h"
 #include "parlib/integer_sort.h"
 #include "parlib/parallel.h"
 #include "parlib/sequence_ops.h"
@@ -67,6 +68,11 @@ class buckets {
   // {kNullBucket, {}} when the structure is empty.
   std::pair<bucket_id, std::vector<vertex_id>> next_bucket() {
     while (true) {
+      // Cancellation / deadline poll once per pop attempt: a cancelled
+      // bucketed computation (k-core, wBFS, set cover) sees an "empty"
+      // structure and terminates its driver loop; the partial result is the
+      // caller's to discard.
+      if (parlib::cancel::poll()) return {kNullBucket, {}};
       while (in_window(cur_)) {
         auto& vec = bkts_[slot_of(cur_)];
         if (!vec.empty()) {

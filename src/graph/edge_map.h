@@ -42,6 +42,7 @@
 #include "graph/graph_view.h"
 #include "graph/vertex_subset.h"
 #include "parlib/atomics.h"
+#include "parlib/cancellation.h"
 #include "parlib/counters.h"
 #include "parlib/parallel.h"
 #include "parlib/sequence_ops.h"
@@ -92,6 +93,10 @@ vertex_subset edge_map_dense(const Graph& g, vertex_subset& frontier, F& f) {
   const vertex_id n = g.num_vertices();
   std::vector<std::uint8_t> next(n, 0);
   parlib::parallel_for(0, n, [&](std::size_t vi) {
+    // Cancellation: flag-only per vertex, full (deadline) poll every 256th —
+    // a cancelled traversal leaves `next` partially set; the caller discards.
+    if ((vi & 255u) == 0 ? parlib::cancel::poll() : parlib::cancel::cancelled())
+      return;
     const auto v = static_cast<vertex_id>(vi);
     if (!f.cond(v)) return;
     g.map_in_neighbors_early_exit(v, [&](vertex_id dst, vertex_id u, auto w) {
@@ -112,6 +117,8 @@ vertex_subset edge_map_dense_forward(const Graph& g, vertex_subset& frontier,
   const vertex_id n = g.num_vertices();
   std::vector<std::uint8_t> next(n, 0);
   parlib::parallel_for(0, n, [&](std::size_t ui) {
+    if ((ui & 255u) == 0 ? parlib::cancel::poll() : parlib::cancel::cancelled())
+      return;
     if (!in_frontier[ui]) return;
     const auto u = static_cast<vertex_id>(ui);
     g.map_out_neighbors(u, [&](vertex_id, vertex_id v, auto w) {
@@ -135,6 +142,9 @@ vertex_subset edge_map_sparse(const Graph& g, vertex_subset& frontier, F& f) {
   const std::uint64_t total = parlib::scan_inplace(offsets);
   std::vector<vertex_id> out(total, kNoVertex);
   parlib::parallel_for(0, ids.size(), [&](std::size_t i) {
+    // Skipped slots stay kNoVertex and are filtered out below.
+    if ((i & 63u) == 0 ? parlib::cancel::poll() : parlib::cancel::cancelled())
+      return;
     const vertex_id u = ids[i];
     std::uint64_t k = offsets[i];
     g.map_out_neighbors_range(u, 0, g.out_degree(u),
@@ -180,6 +190,12 @@ vertex_subset edge_map_blocked(const Graph& g, vertex_subset& frontier,
   parlib::parallel_for(
       0, nblocks,
       [&](std::size_t b) {
+        // One deadline poll per 4K-edge block; a cancelled block contributes
+        // nothing to the output frontier.
+        if (parlib::cancel::poll()) {
+          live_counts[b] = 0;
+          return;
+        }
         const std::uint64_t edge_lo = b * kEdgeMapBlock;
         const std::uint64_t edge_hi = std::min<std::uint64_t>(
             total, edge_lo + kEdgeMapBlock);
@@ -223,6 +239,10 @@ vertex_subset edge_map_blocked(const Graph& g, vertex_subset& frontier,
 template <graph_view Graph, typename F>
 vertex_subset edge_map(const Graph& g, vertex_subset& frontier, F f,
                        edge_map_options opts = {}) {
+  // Cancellation / deadline check at every round boundary: a cancelled
+  // computation's next edge_map returns an empty frontier, which terminates
+  // any frontier-driven loop (BFS, BC, …) naturally.
+  if (parlib::cancel::poll()) return vertex_subset(g.num_vertices());
   if (frontier.empty()) return vertex_subset(g.num_vertices());
   const std::uint64_t threshold =
       opts.threshold >= 0 ? static_cast<std::uint64_t>(opts.threshold)
@@ -247,6 +267,7 @@ template <typename D, graph_view Graph, typename F>
 vertex_subset_data<D> edge_map_data(const Graph& g, vertex_subset& frontier,
                                     F f, bool use_blocked = true) {
   using KV = std::pair<vertex_id, D>;
+  if (parlib::cancel::poll()) return vertex_subset_data<D>(g.num_vertices());
   if (frontier.empty()) return vertex_subset_data<D>(g.num_vertices());
   frontier.to_sparse();
   if (!use_blocked) {
@@ -257,6 +278,9 @@ vertex_subset_data<D> edge_map_data(const Graph& g, vertex_subset& frontier,
     const std::uint64_t stotal = parlib::scan_inplace(soffsets);
     std::vector<std::optional<KV>> slots(stotal);
     parlib::parallel_for(0, sids.size(), [&](std::size_t i) {
+      // Skipped slots stay disengaged and drop out in map_maybe below.
+      if ((i & 63u) == 0 ? parlib::cancel::poll() : parlib::cancel::cancelled())
+        return;
       const vertex_id u = sids[i];
       std::uint64_t k = soffsets[i];
       g.map_out_neighbors_range(u, 0, g.out_degree(u),
@@ -298,6 +322,10 @@ vertex_subset_data<D> edge_map_data(const Graph& g, vertex_subset& frontier,
   parlib::parallel_for(
       0, nblocks,
       [&](std::size_t b) {
+        if (parlib::cancel::poll()) {
+          live_counts[b] = 0;
+          return;
+        }
         const std::uint64_t edge_lo = b * kBlock;
         const std::uint64_t edge_hi =
             std::min<std::uint64_t>(total, edge_lo + kBlock);

@@ -1,0 +1,130 @@
+// Cooperative cancellation for nested-parallel computations.
+//
+// A `cancel::token` is a tiny shared flag (+ optional deadline) owned by
+// whoever initiates a request — the serving layer allocates one per query.
+// Long-running parallel loops poll it at natural round/block boundaries
+// (edge_map's frontier traversal, the bucketing executor's rounds) and
+// unwind early when it fires; the initiator then discards the partial
+// result. Nothing is ever interrupted preemptively — cancellation is a
+// contract between pollers, which is what makes it safe in the middle of
+// lock-free phases.
+//
+// Propagation mirrors the trace-id design (trace_hooks.h): the current
+// token is a thread-local pointer bound with an RAII scope; par_do stamps
+// it into every forked job, and a thief adopts the job's token while
+// running it — so a stolen subtask of a cancelled query observes the
+// cancellation exactly like the forking thread would, no matter how many
+// steals deep it is.
+//
+// Cost: an unbound thread pays one thread-local load per poll; a bound
+// thread pays an additional relaxed atomic load. The deadline is checked
+// against steady_clock only by `poll()` (intended for per-round / per-4K-
+// edge-block granularity, where one clock read is noise); `cancelled()` is
+// the flag-only form for per-vertex granularity. The first poll past the
+// deadline latches the flag, so every subsequent flag-only check — on any
+// thread — observes it.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace parlib {
+namespace cancel {
+
+class token {
+ public:
+  token() = default;
+  token(const token&) = delete;
+  token& operator=(const token&) = delete;
+
+  // Request cancellation (any thread). Pollers observe it at their next
+  // flag check; idempotent.
+  void request_cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  // Arm an absolute deadline; poll() latches cancellation (and the
+  // timed_out marker) once steady_clock passes it. Must be set before the
+  // token is shared with pollers (single writer, then read-only).
+  void set_deadline(std::chrono::steady_clock::time_point d) {
+    deadline_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           d.time_since_epoch())
+                           .count(),
+                       std::memory_order_relaxed);
+  }
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_relaxed) != 0;
+  }
+
+  // True once the deadline (not an explicit request_cancel) fired first.
+  bool timed_out() const {
+    return timed_out_.load(std::memory_order_relaxed);
+  }
+
+  // Flag check + deadline check (one clock read when a deadline is armed
+  // and the flag is still clear). Returns true iff the computation should
+  // unwind.
+  bool poll() {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t d = deadline_ns_.load(std::memory_order_relaxed);
+    if (d == 0) return false;
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count();
+    if (now < d) return false;
+    // Latch: deadline expiry becomes visible to every flag-only poller.
+    timed_out_.store(true, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> timed_out_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  // steady_clock ns; 0 = none
+};
+
+// The calling thread's current token (null = not cancellable). par_do
+// reads this when forking; request entry points bind it via token_scope.
+inline token*& tls_token() {
+  thread_local token* t = nullptr;
+  return t;
+}
+
+inline token* current_token() { return tls_token(); }
+inline void set_current_token(token* t) { tls_token() = t; }
+
+// Flag-only check of the current token — per-vertex-granularity cheap.
+inline bool cancelled() {
+  token* t = tls_token();
+  return t != nullptr && t->cancelled();
+}
+
+// Flag + deadline check of the current token — call at round / block
+// boundaries so an armed deadline actually fires mid-computation.
+inline bool poll() {
+  token* t = tls_token();
+  return t != nullptr && t->poll();
+}
+
+// RAII: bind `t` (may be null) as the thread's current token for the
+// scope's extent, restoring the previous binding on exit. The scheduler
+// uses this to adopt a stolen job's token on the thief thread.
+class token_scope {
+ public:
+  explicit token_scope(token* t) : saved_(tls_token()) { tls_token() = t; }
+  ~token_scope() { tls_token() = saved_; }
+
+  token_scope(const token_scope&) = delete;
+  token_scope& operator=(const token_scope&) = delete;
+
+ private:
+  token* saved_;
+};
+
+}  // namespace cancel
+}  // namespace parlib

@@ -137,6 +137,9 @@ void run_stolen(internal::job* j) {
   const std::uint64_t key = reinterpret_cast<std::uint64_t>(j);
   trace::emit_sched_event(trace::sched_event::steal, tid, key);
   trace::trace_id_scope scope(tid);
+  // Adopt the forking request's cancellation token too: a stolen subtask
+  // of a cancelled query polls its way out just like the owner would.
+  cancel::token_scope cscope(j->cancel);
   trace::emit_sched_event(trace::sched_event::run_begin, tid, key);
   j->execute();
   trace::emit_sched_event(trace::sched_event::run_end, tid, key);

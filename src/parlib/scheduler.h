@@ -53,6 +53,7 @@
 #include <thread>
 #include <vector>
 
+#include "parlib/cancellation.h"
 #include "parlib/counters.h"
 #include "parlib/trace_hooks.h"
 
@@ -64,13 +65,17 @@ namespace internal {
 // is the join flag the forking frame waits on when the job is stolen.
 // `trace_id` is the forking request's trace id (0 = none), stamped before
 // the job is published so a thief can attribute the stolen work — and any
-// events the stolen subtask emits — to the originating request.
+// events the stolen subtask emits — to the originating request. `cancel`
+// is the forking request's cancellation token (null = not cancellable),
+// stamped the same way so a thief's polls observe the request's deadline /
+// cancellation exactly like the forking thread's would.
 class job {
  public:
   virtual ~job() = default;
   virtual void execute() = 0;
   std::atomic<bool> done{false};
   std::uint64_t trace_id = 0;
+  cancel::token* cancel = nullptr;
 };
 
 template <typename F>
@@ -262,6 +267,7 @@ class scheduler {
     }
     internal::func_job<Rf> rjob(right);
     rjob.trace_id = trace::current_trace_id();
+    rjob.cancel = cancel::current_token();
     if (!deques_[id].push(&rjob)) {
       // Deque full: overflow fallback, run both inline. Counted so the
       // obs layer can surface workloads that fork deeper than the deque.

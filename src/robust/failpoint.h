@@ -1,0 +1,347 @@
+// Deterministic fault injection: a registry of named failpoints that tests
+// and CI use to drive the serving engine into every degraded state
+// reproducibly.
+//
+// A failpoint is a named site in the code (the taxonomy below is a stable
+// interface — see README "Robustness") that can be armed to fire:
+//
+//   serve.exec.delay      — latency injected before a query executes
+//   serve.submit.saturate — submit behaves as if the queue were full
+//   store.pin.fail        — snapshot pin behaves as if nothing is published
+//   ingest.publish.delay  — latency injected inside snapshot publication
+//
+// Arming is programmatic (tests) or via the environment (CI):
+//
+//   GBBS_FAILPOINTS="serve.exec.delay=p:0.25:500;store.pin.fail=n:100"
+//   GBBS_FAILPOINT_SEED=42
+//
+// Spec grammar per ';'-separated entry: name=mode[:x][:arg_us] where mode is
+// `off`, `always[:arg_us]`, `p:<probability>[:arg_us]` (fires on that
+// fraction of hits), or `n:<N>[:arg_us]` (fires on every Nth hit). arg_us is
+// the payload for delay-type points (microseconds to sleep).
+//
+// Determinism: a probabilistic failpoint decides from a hash of
+// (seed, name, per-point hit index) — never from a global RNG or the clock —
+// so the same seed and the same hit sequence produce the same trigger
+// pattern, run after run, regardless of thread interleaving at *other*
+// failpoints.
+//
+// Cost: a disarmed failpoint is one relaxed atomic load per hit; compiling
+// with GBBS_NO_FAILPOINTS (cmake -DGBBS_FAILPOINTS=OFF) removes the sites
+// entirely. Trigger counts are exported through the obs registry as
+// `robust.failpoint.<name>` counters.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace gbbs::robust {
+
+enum class failpoint_mode : std::uint8_t { off, always, probability, every_nth };
+
+namespace internal {
+
+// splitmix64 — the decision hash. Statistically fine for thresholding and
+// fully determined by its input.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t hash_name(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace internal
+
+class failpoint {
+ public:
+  explicit failpoint(std::uint64_t name_hash) : name_hash_(name_hash) {}
+  failpoint(const failpoint&) = delete;
+  failpoint& operator=(const failpoint&) = delete;
+
+  // One hit at the instrumented site; returns whether the point fires.
+  // Disarmed: a single relaxed load.
+  bool hit(std::uint64_t seed) {
+    const auto mode =
+        static_cast<failpoint_mode>(mode_.load(std::memory_order_relaxed));
+    if (mode == failpoint_mode::off) return false;
+    const std::uint64_t n = hits_.fetch_add(1, std::memory_order_relaxed);
+    bool fire = false;
+    switch (mode) {
+      case failpoint_mode::always:
+        fire = true;
+        break;
+      case failpoint_mode::probability:
+        fire = internal::mix64(seed ^ name_hash_ ^ n) <
+               threshold_.load(std::memory_order_relaxed);
+        break;
+      case failpoint_mode::every_nth: {
+        const std::uint64_t k = nth_.load(std::memory_order_relaxed);
+        fire = k != 0 && (n + 1) % k == 0;
+        break;
+      }
+      case failpoint_mode::off:
+        break;
+    }
+    if (fire) triggers_.fetch_add(1, std::memory_order_relaxed);
+    return fire;
+  }
+
+  // Payload for delay-type points: microseconds to sleep when fired.
+  std::uint64_t arg_us() const {
+    return arg_us_.load(std::memory_order_relaxed);
+  }
+
+  void configure(failpoint_mode mode, double probability, std::uint64_t nth,
+                 std::uint64_t arg_us) {
+    if (probability < 0.0) probability = 0.0;
+    if (probability > 1.0) probability = 1.0;
+    threshold_.store(
+        probability >= 1.0
+            ? ~0ULL
+            : static_cast<std::uint64_t>(
+                  probability * 18446744073709551616.0 /* 2^64 */),
+        std::memory_order_relaxed);
+    nth_.store(nth, std::memory_order_relaxed);
+    arg_us_.store(arg_us, std::memory_order_relaxed);
+    // Mode last: a hit racing the arm sees consistent parameters.
+    mode_.store(static_cast<std::uint8_t>(mode), std::memory_order_release);
+  }
+
+  void disarm() {
+    mode_.store(static_cast<std::uint8_t>(failpoint_mode::off),
+                std::memory_order_relaxed);
+  }
+  void reset_counts() {
+    hits_.store(0, std::memory_order_relaxed);
+    triggers_.store(0, std::memory_order_relaxed);
+  }
+
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t triggers() const {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::uint64_t name_hash_;
+  std::atomic<std::uint8_t> mode_{
+      static_cast<std::uint8_t>(failpoint_mode::off)};
+  std::atomic<std::uint64_t> threshold_{0};  // fire iff hash < threshold
+  std::atomic<std::uint64_t> nth_{0};
+  std::atomic<std::uint64_t> arg_us_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> triggers_{0};
+};
+
+class registry {
+ public:
+  static registry& instance() {
+    static registry* r = [] {
+      auto* reg = new registry();
+      // Trigger counts surface wherever the obs registry is rendered
+      // (-metrics-json, the Prometheus endpoint). Leaky singleton, so the
+      // captured pointer never dangles.
+      obs::registry::global().add_callback([reg](obs::metrics_snapshot& s) {
+        for (const auto& [name, count] : reg->trigger_counts()) {
+          s.add_counter("robust.failpoint." + name, count);
+        }
+      });
+      return reg;
+    }();
+    return *r;
+  }
+
+  // Get-or-create. References are stable for the process lifetime; a point
+  // named in GBBS_FAILPOINTS is armed the moment its site first reaches it.
+  failpoint& get(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto& slot = points_[name];
+    if (slot == nullptr) {
+      slot = std::make_unique<failpoint>(internal::hash_name(name));
+      const auto it = env_specs_.find(name);
+      if (it != env_specs_.end()) apply_spec(*slot, it->second);
+    }
+    return *slot;
+  }
+
+  // Programmatic arming (tests). Creates the point if its site hasn't been
+  // reached yet.
+  void configure(const std::string& name, failpoint_mode mode,
+                 double probability = 1.0, std::uint64_t nth = 0,
+                 std::uint64_t arg_us = 0) {
+    get(name).configure(mode, probability, nth, arg_us);
+  }
+
+  // Parse-and-arm one `name=spec` entry (the env grammar). Returns false on
+  // a malformed spec (the point is left untouched).
+  bool configure_from_entry(const std::string& entry) {
+    const auto eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    parsed p;
+    if (!parse_spec(entry.substr(eq + 1), p)) return false;
+    get(entry.substr(0, eq)).configure(p.mode, p.probability, p.nth, p.arg_us);
+    return true;
+  }
+
+  // Disarm everything and zero all hit/trigger counters; forget env specs so
+  // re-created points stay off. Tests call this between cases.
+  void reset() {
+    std::lock_guard<std::mutex> lk(mutex_);
+    env_specs_.clear();
+    for (auto& [name, fp] : points_) {
+      fp->disarm();
+      fp->reset_counts();
+    }
+  }
+
+  void set_seed(std::uint64_t seed) {
+    seed_.store(seed, std::memory_order_relaxed);
+  }
+  std::uint64_t seed() const { return seed_.load(std::memory_order_relaxed); }
+
+  std::vector<std::pair<std::string, std::uint64_t>> trigger_counts() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    std::lock_guard<std::mutex> lk(mutex_);
+    out.reserve(points_.size());
+    for (const auto& [name, fp] : points_) {
+      out.emplace_back(name, fp->triggers());
+    }
+    return out;
+  }
+
+ private:
+  registry() {
+    if (const char* env = std::getenv("GBBS_FAILPOINT_SEED")) {
+      seed_.store(std::strtoull(env, nullptr, 10), std::memory_order_relaxed);
+    }
+    if (const char* env = std::getenv("GBBS_FAILPOINTS")) {
+      // Stash specs; applied lazily as each named point is created so the
+      // env can arm points whose translation units haven't run yet.
+      std::string all(env);
+      std::size_t start = 0;
+      while (start < all.size()) {
+        std::size_t end = all.find(';', start);
+        if (end == std::string::npos) end = all.size();
+        const std::string entry = all.substr(start, end - start);
+        const auto eq = entry.find('=');
+        if (eq != std::string::npos && eq > 0) {
+          env_specs_[entry.substr(0, eq)] = entry.substr(eq + 1);
+        }
+        start = end + 1;
+      }
+    }
+  }
+
+  struct parsed {
+    failpoint_mode mode = failpoint_mode::off;
+    double probability = 1.0;
+    std::uint64_t nth = 0;
+    std::uint64_t arg_us = 0;
+  };
+
+  static bool parse_spec(const std::string& spec, parsed& out) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+      std::size_t end = spec.find(':', start);
+      if (end == std::string::npos) end = spec.size();
+      parts.push_back(spec.substr(start, end - start));
+      start = end + 1;
+    }
+    if (parts.empty()) return false;
+    const std::string& mode = parts[0];
+    if (mode == "off") {
+      out.mode = failpoint_mode::off;
+      return parts.size() == 1;
+    }
+    if (mode == "always") {
+      out.mode = failpoint_mode::always;
+      if (parts.size() > 2) return false;
+      if (parts.size() == 2) out.arg_us = std::strtoull(parts[1].c_str(),
+                                                        nullptr, 10);
+      return true;
+    }
+    if (mode == "p") {
+      out.mode = failpoint_mode::probability;
+      if (parts.size() < 2 || parts.size() > 3) return false;
+      out.probability = std::strtod(parts[1].c_str(), nullptr);
+      if (parts.size() == 3) out.arg_us = std::strtoull(parts[2].c_str(),
+                                                        nullptr, 10);
+      return true;
+    }
+    if (mode == "n") {
+      out.mode = failpoint_mode::every_nth;
+      if (parts.size() < 2 || parts.size() > 3) return false;
+      out.nth = std::strtoull(parts[1].c_str(), nullptr, 10);
+      if (parts.size() == 3) out.arg_us = std::strtoull(parts[2].c_str(),
+                                                        nullptr, 10);
+      return true;
+    }
+    return false;
+  }
+
+  static void apply_spec(failpoint& fp, const std::string& spec) {
+    parsed p;
+    if (parse_spec(spec, p)) fp.configure(p.mode, p.probability, p.nth,
+                                          p.arg_us);
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<failpoint>> points_;
+  std::map<std::string, std::string> env_specs_;
+  std::atomic<std::uint64_t> seed_{0x5EED5EED5EED5EEDULL};
+};
+
+}  // namespace gbbs::robust
+
+// Site macros. Each call-site resolves its failpoint once (thread-safe
+// static-local), so a disarmed point costs one relaxed load per pass.
+// GBBS_NO_FAILPOINTS compiles the sites out entirely.
+#if defined(GBBS_NO_FAILPOINTS)
+
+#define GBBS_FAILPOINT_TRIGGERED(name) false
+#define GBBS_FAILPOINT_SLEEP(name) ((void)0)
+
+#else
+
+// True iff the named point fires on this hit.
+#define GBBS_FAILPOINT_TRIGGERED(name)                               \
+  ([]() -> bool {                                                    \
+    auto& gbbs_fp_reg_ = ::gbbs::robust::registry::instance();       \
+    static ::gbbs::robust::failpoint& gbbs_fp_ =                     \
+        gbbs_fp_reg_.get(name);                                      \
+    return gbbs_fp_.hit(gbbs_fp_reg_.seed());                        \
+  }())
+
+// Sleep the point's arg_us payload when it fires (delay-type points).
+#define GBBS_FAILPOINT_SLEEP(name)                                   \
+  do {                                                               \
+    auto& gbbs_fp_reg_ = ::gbbs::robust::registry::instance();       \
+    static ::gbbs::robust::failpoint& gbbs_fp_ =                     \
+        gbbs_fp_reg_.get(name);                                      \
+    if (gbbs_fp_.hit(gbbs_fp_reg_.seed())) {                         \
+      std::this_thread::sleep_for(                                   \
+          std::chrono::microseconds(gbbs_fp_.arg_us()));             \
+    }                                                                \
+  } while (0)
+
+#endif  // GBBS_NO_FAILPOINTS

@@ -35,6 +35,7 @@
 #include "algorithms/kcore.h"
 #include "algorithms/triangle.h"
 #include "graph/graph.h"
+#include "parlib/cancellation.h"
 #include "parlib/random.h"
 #include "serve/dynamic_view.h"
 #include "serve/overlay_view.h"
@@ -77,6 +78,36 @@ inline const char* query_kind_name(query_kind k) {
   return "?";
 }
 
+// How a submitted query resolved. Every future the engine hands out becomes
+// ready with exactly one of these — there is no "silently empty" result.
+enum class query_status : std::uint8_t {
+  ok = 0,       // executed; value/list are meaningful
+  rejected,     // never executed: shed at admission (queue policy / brownout)
+  timed_out,    // deadline expired — in queue (never executed) or mid-flight
+                // (partial work discarded)
+  cancelled,    // explicitly cancelled via the query's token; partial work
+                // discarded
+  unavailable,  // nothing published to serve from (store pin failed)
+};
+
+inline const char* query_status_name(query_status s) {
+  switch (s) {
+    case query_status::ok: return "ok";
+    case query_status::rejected: return "rejected";
+    case query_status::timed_out: return "timed_out";
+    case query_status::cancelled: return "cancelled";
+    case query_status::unavailable: return "unavailable";
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kNumQueryStatuses = 5;
+
+// Admission priority under overload. The brownout ladder sheds `low`
+// analytics first, then all analytics; point reads ride on `high` semantics
+// until the final rung regardless of class (see query_engine.h).
+enum class query_priority : std::uint8_t { high = 0, normal, low };
+
 struct query {
   query_kind kind = query_kind::degree;
   vertex_id u = 0;
@@ -87,6 +118,17 @@ struct query {
   // stream pays one merge per version and then traverses a contiguous
   // CSR; fresh queries (the default) never merge at all.
   bool stale = false;
+  // Admission class for the brownout ladder (see query_engine.h).
+  query_priority priority = query_priority::normal;
+  // Relative deadline in seconds from submit; <= 0 means none. The engine
+  // resolves expired queries `timed_out` — at dequeue without executing, or
+  // mid-flight through the cooperative cancellation token.
+  double deadline_s = 0;
+  // Optional caller-owned cancellation token: request_cancel() resolves the
+  // query `cancelled` (mid-flight traversals unwind cooperatively). Must
+  // outlive the query's future. The engine arms the deadline on it; null
+  // means the engine uses an internal token when a deadline is set.
+  parlib::cancel::token* cancel = nullptr;
 };
 
 struct query_result {
@@ -96,7 +138,15 @@ struct query_result {
   std::uint64_t value = 0;
   std::vector<vertex_id> list;  // neighbors payload
   double latency_s = 0;         // filled by the query engine
-  bool rejected = false;        // dropped by the bounded-queue policy
+  query_status status = query_status::ok;
+  // Brownout: analytics answered from the published merged CSR instead of
+  // the fresh overlay carry degraded = true plus how many ingested updates
+  // the served version is behind the freshest index (bounded by the
+  // engine's degraded_staleness_bound).
+  bool degraded = false;
+  std::uint64_t staleness = 0;
+
+  bool rejected() const { return status == query_status::rejected; }
 };
 
 // The serving-style randomized query mix used by run_serve, bench_serve,

@@ -19,8 +19,22 @@
 // Admission control. The submit queue can be bounded
 // (query_engine_options::max_queue) so an ingest-driven query burst
 // cannot grow it without limit: `reject` resolves overflowing submits
-// immediately with result.rejected = true (dropped() counts them);
-// `block` makes submit wait for space — backpressure on the producer.
+// immediately with status = rejected (dropped() counts them); `block`
+// makes submit wait for space — backpressure on the producer.
+//
+// Robustness (PR 8). Queries may carry a relative deadline: one that
+// expires while queued resolves timed_out without executing, and one that
+// expires mid-flight is stopped cooperatively — the reader binds a
+// cancellation token (parlib/cancellation.h) for the execution, edge_map
+// and the bucketing executor poll it, and par_do propagates it into
+// stolen subtasks, so the whole traversal tree unwinds and the partial
+// result is discarded. Every future resolves with exactly one
+// query_status. Under overload a brownout controller (options.brownout)
+// walks the degradation ladder documented on query_engine_options —
+// degrade analytics to the published merged CSR (bounded staleness),
+// then shed by priority — keeping point reads live until the queue is
+// hard-full. Failpoints (robust/failpoint.h) can force every one of
+// these paths deterministically.
 //
 // SLO + stage accounting (the obs layer). Every query is decomposed into
 // the three pipeline stages — queue wait (submit -> dequeue), view
@@ -84,9 +98,11 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "parlib/cancellation.h"
 #include "parlib/counters.h"
 #include "parlib/scheduler.h"
 #include "parlib/trace_hooks.h"
+#include "robust/failpoint.h"
 #include "serve/overlay_view.h"
 #include "serve/query.h"
 #include "serve/snapshot_store.h"
@@ -116,6 +132,33 @@ struct query_engine_options {
   // overlay). The manual query.stale flag still forces the stale path.
   bool stale_auto = false;
   std::uint32_t stale_auto_threshold = 4;
+
+  // Brownout controller (overload protection). When enabled, submit-side
+  // admission walks a degradation ladder driven by queue depth (and,
+  // optionally, the all-kind queue-wait p99):
+  //   level 0  normal
+  //   level 1  degrade: analytics answered from the published memoized
+  //            merged CSR with a bounded-staleness annotation
+  //            (result.degraded / result.staleness)
+  //   level 2  + shed low-priority analytics (status = rejected)
+  //   level 3  + shed all analytics; point reads stay admitted until the
+  //            queue is hard-full
+  // Depth rungs default to max_queue * {1/4, 1/2, 3/4}; stepping down
+  // requires depth <= rung/2 (hysteresis, no flapping at a rung edge).
+  // Transitions are counted, gauged (serve.degrade.level), and tagged in
+  // the flight recorder. Requires a bounded queue (or explicit rungs).
+  bool brownout = false;
+  std::size_t brownout_depth_degrade = 0;   // 0 = max_queue / 4
+  std::size_t brownout_depth_shed_low = 0;  // 0 = max_queue / 2
+  std::size_t brownout_depth_shed_all = 0;  // 0 = 3 * max_queue / 4
+  // Escalate one extra rung while the all-kind queue-wait p99 exceeds
+  // this many seconds; 0 disables the latency input (depth-only ladder).
+  double brownout_queue_wait_p99_s = 0;
+  // Max ingested updates the published version may lag the fresh overlay
+  // for a degraded (level >= 1) analytics answer. Beyond the bound the
+  // fresh path is used even under brownout — degradation is lossy but
+  // never unboundedly stale.
+  std::uint64_t degraded_staleness_bound = 1ull << 16;
 };
 
 template <typename W>
@@ -167,6 +210,9 @@ class query_engine {
           "serve.query." +
           std::string(query_kind_name(static_cast<query_kind>(k))));
     }
+    timed_out_name_id_ = fr.intern("serve.query.timed_out");
+    cancelled_name_id_ = fr.intern("serve.query.cancelled");
+    brownout_name_id_ = fr.intern("serve.brownout.level");
     // Export the per-kind stage histograms through the obs registry (live
     // while the engine runs; folded into registry-owned totals on
     // destruction so at-exit snapshots keep them).
@@ -182,6 +228,30 @@ class query_engine {
     }
     registrations_.push_back(
         reg.attach_histogram("serve.query.view_select", &view_select_));
+    registrations_.push_back(reg.attach_histogram(
+        "serve.query.queue_wait.all", &queue_wait_all_));
+    // Robustness counters live in the registry (stable refs, cached here)
+    // so they surface in -metrics-json / Prometheus without a bridge.
+    timed_out_ctr_ = &reg.get_counter("serve.query.timed_out");
+    shed_ctr_ = &reg.get_counter("serve.query.shed");
+    cancelled_ctr_ = &reg.get_counter("serve.query.cancelled");
+    unavailable_ctr_ = &reg.get_counter("serve.query.unavailable");
+    degraded_ctr_ = &reg.get_counter("serve.query.degraded");
+    degrade_transitions_ctr_ = &reg.get_counter("serve.degrade.transitions");
+    degrade_level_gauge_ = &reg.get_gauge("serve.degrade.level");
+    // Brownout rungs: explicit options win; otherwise derived from the
+    // queue bound. No bound and no rungs means no ladder to stand on.
+    bn_degrade_ = options_.brownout_depth_degrade != 0
+                      ? options_.brownout_depth_degrade
+                      : options_.max_queue / 4;
+    bn_shed_low_ = options_.brownout_depth_shed_low != 0
+                       ? options_.brownout_depth_shed_low
+                       : options_.max_queue / 2;
+    bn_shed_all_ = options_.brownout_depth_shed_all != 0
+                       ? options_.brownout_depth_shed_all
+                       : options_.max_queue - options_.max_queue / 4;
+    brownout_enabled_ = options_.brownout && bn_degrade_ != 0 &&
+                        bn_shed_low_ != 0 && bn_shed_all_ != 0;
     readers_.reserve(num_readers);
     for (std::size_t i = 0; i < num_readers; ++i) {
       readers_.emplace_back([this] { reader_loop(); });
@@ -197,12 +267,21 @@ class query_engine {
   // Thread-safe. Latency is measured submit -> completion (queue wait
   // included), the client-observed number. A submit that races with (or
   // follows) stop() is rejected: its future resolves immediately with
-  // rejected = true (and counts toward dropped()), never left unready. A
-  // submit overflowing a bounded queue follows the configured policy.
+  // status = rejected (and counts toward dropped()), never left unready.
+  // A submit overflowing a bounded queue follows the configured policy;
+  // brownout shedding (see query_engine_options) also resolves here, so a
+  // shed query costs its client one allocation and zero reader time.
   std::future<query_result> submit(query q) {
     item it;
     it.q = q;
     it.submitted = std::chrono::steady_clock::now();
+    if (q.deadline_s > 0) {
+      it.has_deadline = true;
+      it.deadline =
+          it.submitted +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(q.deadline_s));
+    }
     // Every query is one request timeline: the id set here follows the
     // query across the queue hand-off (flow events), into the reader's
     // execute span, and down into any scheduler forks/steals the
@@ -221,15 +300,36 @@ class query_engine {
       }
       if (stopping_) {
         query_result r;
-        r.rejected = true;  // not served — distinguishable from a result
+        r.status = query_status::rejected;  // not served
         ++dropped_;
         it.promise.set_value(std::move(r));
         return fut;
       }
-      if (options_.max_queue != 0 && queue_.size() >= options_.max_queue) {
+      if (brownout_enabled_) {
+        update_brownout_locked();
+        const int level = degrade_level_.load(std::memory_order_relaxed);
+        // Point reads ride through every rung; analytics are shed at
+        // level 2 (low priority) and level 3 (all priorities).
+        if (!is_point_read(q.kind) &&
+            (level >= 3 ||
+             (level >= 2 && q.priority == query_priority::low))) {
+          shed_.fetch_add(1, std::memory_order_relaxed);
+          shed_ctr_->add();
+          query_result r;
+          r.status = query_status::rejected;
+          it.promise.set_value(std::move(r));
+          return fut;
+        }
+      }
+      // serve.submit.saturate: behave as if the queue were full. Forced
+      // saturation rejects even under the block policy — a blocked submit
+      // would deadlock the injection.
+      const bool saturated = GBBS_FAILPOINT_TRIGGERED("serve.submit.saturate");
+      if (saturated ||
+          (options_.max_queue != 0 && queue_.size() >= options_.max_queue)) {
         ++dropped_;
         query_result r;
-        r.rejected = true;
+        r.status = query_status::rejected;
         it.promise.set_value(std::move(r));
         return fut;
       }
@@ -291,6 +391,37 @@ class query_engine {
     return stale_auto_routed_.load(std::memory_order_relaxed);
   }
 
+  // ---- robustness observability -------------------------------------------
+
+  // Queries resolved timed_out (deadline expired in queue or mid-flight).
+  std::uint64_t timed_out() const {
+    return timed_out_.load(std::memory_order_relaxed);
+  }
+  // Queries resolved cancelled via an explicit token.
+  std::uint64_t cancelled_queries() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  // Analytics shed by the brownout ladder (status = rejected at submit).
+  std::uint64_t shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  // Queries resolved unavailable (nothing published to serve from).
+  std::uint64_t unavailable() const {
+    return unavailable_.load(std::memory_order_relaxed);
+  }
+  // Analytics answered degraded (published merged CSR under brownout).
+  std::uint64_t degraded_served() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  // Current brownout rung (0 = normal .. 3 = shed all analytics).
+  int degrade_level() const {
+    return degrade_level_.load(std::memory_order_relaxed);
+  }
+  // Ladder transitions (every level change, up or down).
+  std::uint64_t degrade_transitions() const {
+    return degrade_transitions_.load(std::memory_order_relaxed);
+  }
+
   // Per-kind latency/SLO summary over everything completed so far.
   // Counts, maxima, and violations are exact; percentiles are estimated
   // from the sharded stage histograms. Index with
@@ -320,6 +451,9 @@ class query_engine {
   struct item {
     query q;
     std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point deadline;  // absolute, from
+                                                     // q.deadline_s
+    bool has_deadline = false;
     std::promise<query_result> promise;
     std::uint64_t trace_id = 0;  // flight-recorder request id
   };
@@ -340,6 +474,70 @@ class query_engine {
   static std::uint64_t stale_state_key(std::uint64_t version,
                                        std::uint64_t epoch) {
     return version * 0x9E3779B97F4A7C15ull ^ (epoch + 1);
+  }
+
+  // Walk the brownout ladder. Called from submit with mutex_ held (queue
+  // depth is exact). Depth picks the target rung; the all-kind queue-wait
+  // p99 (sampled every 64th submit — a histogram read is not free)
+  // escalates one extra rung while hot. Hysteresis: stepping down requires
+  // depth at or below half the rung that raised the level.
+  void update_brownout_locked() {
+    const std::size_t depth = queue_.size();
+    int target = 0;
+    if (depth >= bn_shed_all_) {
+      target = 3;
+    } else if (depth >= bn_shed_low_) {
+      target = 2;
+    } else if (depth >= bn_degrade_) {
+      target = 1;
+    }
+    if (options_.brownout_queue_wait_p99_s > 0) {
+      if ((bn_ticks_ & 63u) == 0) {
+        bn_wait_hot_ = queue_wait_all_.read().p99_s >
+                       options_.brownout_queue_wait_p99_s;
+      }
+      if (bn_wait_hot_ && target < 3) ++target;
+    }
+    const int level = degrade_level_.load(std::memory_order_relaxed);
+    ++bn_ticks_;
+    if (target > level) {
+      // Escalation is immediate — protection first.
+      set_degrade_level_locked(target);
+    } else if (target < level) {
+      // De-escalation needs depth at half the raising rung AND a dwell
+      // since the last change, so a queue that drains-and-refills every
+      // batch doesn't flap the ladder at submit frequency.
+      const std::size_t rung =
+          level >= 3 ? bn_shed_all_ : level == 2 ? bn_shed_low_ : bn_degrade_;
+      if (depth <= rung / 2 && bn_ticks_ - bn_last_change_ >= 256) {
+        set_degrade_level_locked(level - 1);
+      }
+    }
+  }
+
+  void set_degrade_level_locked(int level) {
+    bn_last_change_ = bn_ticks_;
+    degrade_level_.store(level, std::memory_order_relaxed);
+    degrade_transitions_.fetch_add(1, std::memory_order_relaxed);
+    degrade_transitions_ctr_->add();
+    degrade_level_gauge_->set(level);
+    // Flight-recorder tag: the transition shows up on whatever request
+    // timeline triggered it, arg = the new rung.
+    obs::flight_recorder::global().emit(
+        obs::event_type::instant, brownout_name_id_,
+        static_cast<std::uint64_t>(level));
+  }
+
+  // One query fully resolved (any status): progress accounting + drain()
+  // wake-up.
+  void finish_one() {
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      ++completed_;
+      idle = completed_ == submitted_;
+    }
+    if (idle) idle_cv_.notify_all();
   }
 
   // True once `count` consecutive analytics have executed against the
@@ -378,11 +576,35 @@ class query_engine {
       parlib::trace::trace_id_scope tscope(it.trace_id);
       auto& fr = obs::flight_recorder::global();
       fr.emit(obs::event_type::flow_end, 0, it.trace_id);
+      // Deadline check at dequeue: a query that already expired while
+      // waiting resolves timed_out without executing — its client has
+      // given up, so running it now would be pure wasted capacity.
+      if (it.has_deadline &&
+          std::chrono::steady_clock::now() >= it.deadline) {
+        queue_wait_all_.record_s(std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     it.submitted)
+                                     .count());
+        fr.emit(obs::event_type::instant, timed_out_name_id_);
+        query_result r;
+        r.status = query_status::timed_out;
+        r.latency_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - it.submitted)
+                          .count();
+        timed_out_.fetch_add(1, std::memory_order_relaxed);
+        timed_out_ctr_->add();
+        it.promise.set_value(std::move(r));
+        finish_one();
+        continue;
+      }
       const auto kind_idx = static_cast<std::size_t>(it.q.kind);
       const std::uint32_t span_name_id =
           kind_idx < kNumQueryKinds ? kind_name_ids_[kind_idx] : 0;
       fr.emit(obs::event_type::span_begin, span_name_id);
       const auto dequeued = std::chrono::steady_clock::now();
+      // The engine-wide queue-wait sample feeds the brownout controller.
+      queue_wait_all_.record_s(
+          std::chrono::duration<double>(dequeued - it.submitted).count());
       // Set right before the query's algorithm runs, in whichever branch
       // serves it: [dequeued, exec_start) is view selection (overlay read
       // / version pin / stale-routing), [exec_start, done) is execution.
@@ -392,58 +614,131 @@ class query_engine {
               ? parlib::scheduler::instance().push_count(guard.slot())
               : 0;
       query_result r;
-      if (overlay_ != nullptr && !it.q.stale) {
-        // Fresh path: the overlay index current right now (covers every
-        // ingest that returned before this read) serves every kind —
-        // analytics traverse it fused, no merged-CSR build.
-        if (auto idx = overlay_->read()) {
-          bool served = false;
-          const std::uint64_t skey =
-              options_.stale_auto
-                  ? stale_state_key(idx->base_version, idx->epoch)
-                  : 0;
-          const bool known_unroutable =
-              options_.stale_auto &&
-              stale_unroutable_.load(std::memory_order_relaxed) == skey &&
-              stale_unroutable_version_.load(std::memory_order_relaxed) ==
-                  store_.current_version();
-          if (options_.stale_auto && !is_point_read(it.q.kind) &&
-              should_route_stale(skey) && !known_unroutable) {
-            // Route to the published version's memoized merged CSR, but
-            // only when it covers exactly the overlay's updates — routed
-            // results then equal fresh results, just off a contiguous CSR.
-            // A state whose published version lags is remembered as
-            // unroutable, so later queries skip the futile pin until the
-            // writer publishes again.
-            if (pinned_snapshot<W> snap = store_.pin();
-                snap && snap.updates_ingested() == idx->epoch) {
-              query sq = it.q;
-              sq.stale = true;
-              exec_start = std::chrono::steady_clock::now();
-              r = execute_query(snap, sq);
-              stale_auto_routed_.fetch_add(1, std::memory_order_relaxed);
-              served = true;
-            } else {
-              stale_unroutable_version_.store(store_.current_version(),
-                                              std::memory_order_relaxed);
-              stale_unroutable_.store(skey, std::memory_order_relaxed);
+      bool served = false;
+      // Cancellation token for the execution: caller-supplied when the
+      // query carries one, else a loop-local token when a deadline is
+      // armed. The token_scope binds it as this thread's current token,
+      // and par_do carries it into every forked job — stolen subtasks
+      // poll the same token (scheduler.h), so one latch stops them all.
+      parlib::cancel::token local_token;
+      parlib::cancel::token* tok = it.q.cancel;
+      if (tok == nullptr && it.has_deadline) tok = &local_token;
+      if (tok != nullptr && it.has_deadline) tok->set_deadline(it.deadline);
+      {
+        parlib::cancel::token_scope cscope(tok);
+        GBBS_FAILPOINT_SLEEP("serve.exec.delay");
+        // store.pin.fail: pin behaves as if nothing were published.
+        const auto pin = [this]() -> pinned_snapshot<W> {
+          if (GBBS_FAILPOINT_TRIGGERED("store.pin.fail")) {
+            return pinned_snapshot<W>{};
+          }
+          return store_.pin();
+        };
+        if (overlay_ != nullptr && !it.q.stale) {
+          // Fresh path: the overlay index current right now (covers every
+          // ingest that returned before this read) serves every kind —
+          // analytics traverse it fused, no merged-CSR build.
+          if (auto idx = overlay_->read()) {
+            // Brownout level >= 1: analytics route to the published
+            // memoized merged CSR even when it lags the overlay —
+            // lossy-but-bounded (degraded_staleness_bound), annotated on
+            // the result — trading freshness for the merge-amortized CSR
+            // traversal while the queue is hot. Point reads stay fresh
+            // (they are O(deg); degrading them would save nothing).
+            if (!is_point_read(it.q.kind) &&
+                degrade_level_.load(std::memory_order_relaxed) >= 1) {
+              if (pinned_snapshot<W> snap = pin()) {
+                const std::uint64_t behind =
+                    idx->epoch >= snap.updates_ingested()
+                        ? idx->epoch - snap.updates_ingested()
+                        : 0;
+                if (behind <= options_.degraded_staleness_bound) {
+                  query sq = it.q;
+                  sq.stale = true;
+                  exec_start = std::chrono::steady_clock::now();
+                  r = execute_query(snap, sq);
+                  r.degraded = true;
+                  r.staleness = behind;
+                  degraded_.fetch_add(1, std::memory_order_relaxed);
+                  degraded_ctr_->add();
+                  served = true;
+                }
+              }
             }
-          }
-          if (!served) {
+            const std::uint64_t skey =
+                options_.stale_auto
+                    ? stale_state_key(idx->base_version, idx->epoch)
+                    : 0;
+            const bool known_unroutable =
+                options_.stale_auto &&
+                stale_unroutable_.load(std::memory_order_relaxed) == skey &&
+                stale_unroutable_version_.load(std::memory_order_relaxed) ==
+                    store_.current_version();
+            if (!served && options_.stale_auto && !is_point_read(it.q.kind) &&
+                should_route_stale(skey) && !known_unroutable) {
+              // Route to the published version's memoized merged CSR, but
+              // only when it covers exactly the overlay's updates — routed
+              // results then equal fresh results, just off a contiguous CSR.
+              // A state whose published version lags is remembered as
+              // unroutable, so later queries skip the futile pin until the
+              // writer publishes again.
+              if (pinned_snapshot<W> snap = pin();
+                  snap && snap.updates_ingested() == idx->epoch) {
+                query sq = it.q;
+                sq.stale = true;
+                exec_start = std::chrono::steady_clock::now();
+                r = execute_query(snap, sq);
+                stale_auto_routed_.fetch_add(1, std::memory_order_relaxed);
+                served = true;
+              } else {
+                stale_unroutable_version_.store(store_.current_version(),
+                                                std::memory_order_relaxed);
+                stale_unroutable_.store(skey, std::memory_order_relaxed);
+              }
+            }
+            if (!served) {
+              exec_start = std::chrono::steady_clock::now();
+              r = execute_fresh_query(std::move(idx), it.q);
+              served = true;
+            }
+          } else if (pinned_snapshot<W> snap = pin()) {
             exec_start = std::chrono::steady_clock::now();
-            r = execute_fresh_query(std::move(idx), it.q);
+            r = execute_query(snap, it.q);
+            served = true;
           }
-        } else if (pinned_snapshot<W> snap = store_.pin()) {
-          exec_start = std::chrono::steady_clock::now();
-          r = execute_query(snap, it.q);
+        } else {
+          // Versioned path: pin the version current at execution; the query
+          // sees it regardless of how far ingest advances while it runs.
+          if (pinned_snapshot<W> snap = pin()) {
+            exec_start = std::chrono::steady_clock::now();
+            r = execute_query(snap, it.q);
+            served = true;
+          }
         }
-      } else {
-        // Versioned path: pin the version current at execution; the query
-        // sees it regardless of how far ingest advances while it runs.
-        if (pinned_snapshot<W> snap = store_.pin()) {
-          exec_start = std::chrono::steady_clock::now();
-          r = execute_query(snap, it.q);
+      }
+      if (tok != nullptr && tok->cancelled()) {
+        // The traversal unwound early (or raced completion with the
+        // latch): its partial output is not a correct answer, so discard
+        // everything and report how the run ended.
+        const bool expired = tok->timed_out();
+        r = query_result{};
+        r.status =
+            expired ? query_status::timed_out : query_status::cancelled;
+        fr.emit(obs::event_type::instant,
+                expired ? timed_out_name_id_ : cancelled_name_id_);
+        if (expired) {
+          timed_out_.fetch_add(1, std::memory_order_relaxed);
+          timed_out_ctr_->add();
+        } else {
+          cancelled_.fetch_add(1, std::memory_order_relaxed);
+          cancelled_ctr_->add();
         }
+      } else if (!served) {
+        // Nothing published to serve from: say so instead of handing the
+        // client a default-constructed (silently empty) result.
+        r.status = query_status::unavailable;
+        unavailable_.fetch_add(1, std::memory_order_relaxed);
+        unavailable_ctr_->add();
       }
       if (guard.registered()) {
         const std::uint64_t forks =
@@ -463,11 +758,15 @@ class query_engine {
       const auto kind_slot = static_cast<std::size_t>(it.q.kind);
       const double slo = slo_for(it.q.kind);
       const double latency = r.latency_s;
+      const query_status status = r.status;
       it.promise.set_value(std::move(r));
       // Stage accounting: three sharded histogram records + the engine-
       // wide view-selection span, all lock-free on this reader's own
       // cells (obs/metrics.h) — the submit-queue mutex is not touched.
-      if (kind_slot < kNumQueryKinds) {
+      // Only successful queries are recorded: a timed-out / cancelled /
+      // unavailable resolution is not a latency sample of the kind's
+      // execution and would skew the percentiles CI gates on.
+      if (status == query_status::ok && kind_slot < kNumQueryKinds) {
         kind_metrics& km = kind_metrics_[kind_slot];
         km.latency.record_s(latency);
         km.queue_wait.record_s(
@@ -486,13 +785,7 @@ class query_engine {
       // unless a threshold was configured — see -slow-trace-ms).
       obs::exemplar_store::global().maybe_capture(
           it.trace_id, query_kind_name(it.q.kind), latency);
-      bool idle;
-      {
-        std::lock_guard<std::mutex> lk(mutex_);
-        ++completed_;
-        idle = completed_ == submitted_;
-      }
-      if (idle) idle_cv_.notify_all();
+      finish_one();
     }
   }
 
@@ -505,8 +798,13 @@ class query_engine {
   // folds totals) before they are destroyed.
   std::array<kind_metrics, kNumQueryKinds> kind_metrics_;
   obs::histogram view_select_;
+  // All-kind queue-wait samples: the brownout controller's latency input.
+  obs::histogram queue_wait_all_;
   // Interned flight-recorder names for the per-kind query spans.
   std::array<std::uint32_t, kNumQueryKinds> kind_name_ids_{};
+  std::uint32_t timed_out_name_id_ = 0;
+  std::uint32_t cancelled_name_id_ = 0;
+  std::uint32_t brownout_name_id_ = 0;
   std::array<std::atomic<std::uint64_t>, kNumQueryKinds> slo_violations_{};
   std::vector<obs::registry::scoped_attach> registrations_;
 
@@ -522,6 +820,29 @@ class query_engine {
 
   std::atomic<std::uint64_t> reader_forks_{0};
   std::atomic<std::uint64_t> stale_auto_routed_{0};
+
+  // Robustness accounting (engine-local; mirrored into registry counters).
+  std::atomic<std::uint64_t> timed_out_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> unavailable_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> degrade_transitions_{0};
+  std::atomic<int> degrade_level_{0};  // written under mutex_, read lock-free
+  obs::counter* timed_out_ctr_ = nullptr;
+  obs::counter* shed_ctr_ = nullptr;
+  obs::counter* cancelled_ctr_ = nullptr;
+  obs::counter* unavailable_ctr_ = nullptr;
+  obs::counter* degraded_ctr_ = nullptr;
+  obs::counter* degrade_transitions_ctr_ = nullptr;
+  obs::gauge* degrade_level_gauge_ = nullptr;
+  bool brownout_enabled_ = false;
+  std::size_t bn_degrade_ = 0;   // ladder rungs (queue depths)
+  std::size_t bn_shed_low_ = 0;
+  std::size_t bn_shed_all_ = 0;
+  std::uint64_t bn_ticks_ = 0;        // under mutex_
+  std::uint64_t bn_last_change_ = 0;  // under mutex_ (dwell anchor)
+  bool bn_wait_hot_ = false;          // under mutex_
   // Adaptive stale-routing run detection (racy-by-design, see above).
   std::atomic<std::uint64_t> stale_key_{0};
   std::atomic<std::uint32_t> stale_run_{0};

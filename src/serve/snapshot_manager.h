@@ -49,6 +49,7 @@
 #include "dynamic/incremental_connectivity.h"
 #include "dynamic/update_batch.h"
 #include "obs/trace.h"
+#include "robust/failpoint.h"
 #include "serve/component_view.h"
 #include "serve/overlay_view.h"
 #include "serve/snapshot_store.h"
@@ -129,6 +130,9 @@ class snapshot_manager {
     parlib::trace::trace_id_scope tscope(last_ingest_trace_id_);
     static const obs::stage_ref s_publish = obs::stage_named("ingest.publish");
     obs::trace_span span(s_publish);
+    // ingest.publish.delay: a slow publish, injected inside the traced
+    // span so the stall is attributable — staleness grows while it sleeps.
+    GBBS_FAILPOINT_SLEEP("ingest.publish.delay");
     last_published_updates_ = updates_ingested_;
     std::uint64_t v;
     bool compacted = false;

@@ -45,6 +45,7 @@ using gbbs::serve::query;
 using gbbs::serve::query_engine;
 using gbbs::serve::query_kind;
 using gbbs::serve::query_result;
+using gbbs::serve::query_status;
 using gbbs::serve::snapshot_manager;
 using gbbs::serve::snapshot_store;
 
@@ -229,7 +230,7 @@ TEST(QueryEngine, SubmitAfterStopResolvesImmediately) {
   engine.stop();
   auto f = engine.submit({query_kind::degree, 0, 0});
   auto r = f.get();  // never stuck
-  EXPECT_TRUE(r.rejected);
+  EXPECT_EQ(r.status, query_status::rejected);
   EXPECT_EQ(r.version, 0u);
   EXPECT_EQ(engine.dropped(), 1u);
 }
@@ -345,7 +346,7 @@ TEST(QueryEngine, BoundedQueueRejectPolicyDropsAndCounts) {
   std::size_t rejected = 0, served = 0;
   for (auto& f : futs) {
     auto r = f.get();  // every future resolves, dropped or not
-    if (r.rejected) {
+    if (r.status == query_status::rejected) {
       ++rejected;
     } else {
       ++served;
@@ -376,7 +377,7 @@ TEST(QueryEngine, BoundedQueueBlockPolicyServesEverything) {
   }
   for (auto& f : futs) {
     auto r = f.get();
-    EXPECT_FALSE(r.rejected);
+    EXPECT_EQ(r.status, query_status::ok);
     EXPECT_EQ(r.value, 2u);
   }
   EXPECT_EQ(engine.dropped(), 0u);

@@ -25,6 +25,19 @@
 //                     override
 //   -slo-point <ms>       latency SLO for point reads (0 = off)
 //   -slo-analytics <ms>   latency SLO for traversal analytics (0 = off)
+//   -deadline-ms <t>  per-query deadline: expired-in-queue queries resolve
+//                     timed_out without executing; mid-flight expiry stops
+//                     the traversal cooperatively (0 = off)
+//   -max-queue <q>    bound the submit queue (reject policy); 0 = unbounded
+//   -brownout         enable the degradation ladder (requires -max-queue):
+//                     degrade analytics to the published merged CSR, then
+//                     shed low-priority analytics, then all analytics —
+//                     point reads admitted until the queue is hard-full.
+//                     Queries are classed point=normal / analytics=low.
+//   -retries <k>      resubmit rejected queries up to k times (default 0)
+//   -backoff-ms <t>   base for the jittered exponential backoff between
+//                     retries (default 1 ms); counted in the obs registry
+//                     as serve.query.retries
 //   -metrics-json <path>  export the obs registry as a JSON snapshot:
 //                     periodically (every few seconds) and at exit, written
 //                     atomically (tmp + rename). Contains the ingest stage
@@ -47,9 +60,11 @@
 //                     connectivity refinement of the *fresh* dynamic_view
 //                     against the same partition.
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -87,6 +102,11 @@ int main(int argc, char** argv) {
   bool stale_auto = false;
   double slo_point_ms = 0;
   double slo_analytics_ms = 0;
+  double deadline_ms = 0;
+  std::size_t max_queue = 0;
+  bool brownout = false;
+  int retries = 0;
+  double backoff_ms = 1.0;
   std::string metrics_json;
   std::string trace_out;
   double slow_trace_ms = -1;
@@ -108,6 +128,16 @@ int main(int argc, char** argv) {
       slo_point_ms = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-slo-analytics") && i + 1 < argc) {
       slo_analytics_ms = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "-deadline-ms") && i + 1 < argc) {
+      deadline_ms = std::strtod(argv[++i], nullptr);
+    } else if (!std::strcmp(argv[i], "-max-queue") && i + 1 < argc) {
+      max_queue = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-brownout")) {
+      brownout = true;
+    } else if (!std::strcmp(argv[i], "-retries") && i + 1 < argc) {
+      retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "-backoff-ms") && i + 1 < argc) {
+      backoff_ms = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-metrics-json") && i + 1 < argc) {
       metrics_json = argv[++i];
     } else if (!std::strcmp(argv[i], "-metrics-port") && i + 1 < argc) {
@@ -166,6 +196,7 @@ int main(int argc, char** argv) {
     gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
     gbbs::serve::snapshot_manager<empty_weight> mgr(n);
     std::vector<std::future<query_result>> futures;
+    std::vector<query_result> results;  // resolved inline by the retry loop
     parlib::random rng(o.seed);
     std::size_t updates = 0, batches = 0, qi = 0;
     double wall = 0;
@@ -173,13 +204,52 @@ int main(int argc, char** argv) {
     opts.slo_point_s = slo_point_ms / 1e3;
     opts.slo_analytics_s = slo_analytics_ms / 1e3;
     opts.stale_auto = stale_auto;
+    opts.max_queue = max_queue;
+    opts.brownout = brownout;
     std::array<gbbs::serve::query_engine<empty_weight>::kind_stats,
                gbbs::serve::kNumQueryKinds>
         kinds{};
     std::uint64_t reader_forks = 0, auto_routed = 0;
+    std::uint64_t shed = 0, degraded = 0, transitions = 0;
+    std::uint64_t retries_done = 0;
+    auto& retry_ctr =
+        gbbs::obs::registry::global().get_counter("serve.query.retries");
     {
       gbbs::serve::query_engine<empty_weight> engine(
           mgr.store(), fresh ? &mgr.overlay() : nullptr, readers, opts);
+      // Submit with bounded retry: a rejected submit (queue overflow or
+      // brownout shed) resolves its future immediately, so readiness right
+      // after submit is the reject signal. Jittered exponential backoff
+      // between attempts keeps retry waves from re-saturating the queue in
+      // lockstep.
+      auto submit_with_retry = [&](const gbbs::serve::query& q,
+                                   std::size_t salt) {
+        auto fut = engine.submit(q);
+        for (int attempt = 0; attempt < retries; ++attempt) {
+          if (fut.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+            break;  // admitted: a reader will resolve it
+          }
+          query_result r = fut.get();
+          if (r.status != gbbs::serve::query_status::rejected) {
+            results.push_back(std::move(r));
+            return;
+          }
+          const double jitter =
+              0.5 + static_cast<double>(
+                        rng.ith_rand((salt << 3) + 0x5a17 +
+                                     static_cast<std::size_t>(attempt)) %
+                        1000) /
+                        1000.0;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  backoff_ms * static_cast<double>(1 << attempt) * jitter));
+          ++retries_done;
+          retry_ctr.add();
+          fut = engine.submit(q);
+        }
+        futures.push_back(std::move(fut));
+      };
       wall = bench::time_once([&] {
         while (!stream.done()) {
           auto raw = stream.next_inserts(batch_size);
@@ -188,8 +258,14 @@ int main(int argc, char** argv) {
           mgr.publish();
           ++batches;
           for (std::size_t k = 0; k < queries_per_batch; ++k, ++qi) {
-            futures.push_back(engine.submit(
-                gbbs::serve::make_mixed_query(rng, qi, n, heavy)));
+            auto q = gbbs::serve::make_mixed_query(rng, qi, n, heavy);
+            q.deadline_s = deadline_ms / 1e3;
+            // Brownout classing: point reads are the protected traffic,
+            // analytics are sheddable first.
+            q.priority = gbbs::serve::is_point_read(q.kind)
+                             ? gbbs::serve::query_priority::normal
+                             : gbbs::serve::query_priority::low;
+            submit_with_retry(q, qi);
           }
           rng = rng.next();
         }
@@ -198,16 +274,28 @@ int main(int argc, char** argv) {
       kinds = engine.latency_by_kind();
       reader_forks = engine.reader_forks();
       auto_routed = engine.stale_auto_routed();
+      shed = engine.shed();
+      degraded = engine.degraded_served();
+      transitions = engine.degrade_transitions();
       // Snapshot the registry while the engine (and its attached per-kind
       // histograms) is still alive so the file holds the full breakdown;
       // detach-merge preserves them for the at-exit write as well.
       if (json_writer) json_writer->write_now();
     }
 
+    for (auto& f : futures) results.push_back(f.get());
     std::vector<double> latencies;
-    latencies.reserve(futures.size());
-    for (auto& f : futures) {
-      latencies.push_back(f.get().latency_s);
+    latencies.reserve(results.size());
+    std::array<std::uint64_t, gbbs::serve::kNumQueryStatuses> by_status{};
+    for (const auto& r : results) {
+      const auto s = static_cast<std::size_t>(r.status);
+      if (s < by_status.size()) ++by_status[s];
+      // Only served queries are latency samples; a rejected/timed-out
+      // resolution would drag the percentiles toward its (tiny or
+      // truncated) turnaround time.
+      if (r.status == gbbs::serve::query_status::ok) {
+        latencies.push_back(r.latency_s);
+      }
     }
     const auto stats = bench::summarize(std::move(latencies));
 
@@ -236,6 +324,28 @@ int main(int argc, char** argv) {
     std::printf("reader-deque forks %llu | stale-auto routes %llu\n",
                 static_cast<unsigned long long>(reader_forks),
                 static_cast<unsigned long long>(auto_routed));
+
+    // How every submitted query resolved, plus the brownout/retry story.
+    // `unavailable` nonzero means readers found nothing published to serve
+    // from — previously a silently-empty result, now a visible status.
+    std::printf(
+        "status: ok=%llu rejected=%llu timed_out=%llu cancelled=%llu "
+        "unavailable=%llu | shed=%llu degraded=%llu degrade-transitions=%llu "
+        "retries=%llu\n",
+        static_cast<unsigned long long>(
+            by_status[static_cast<std::size_t>(gbbs::serve::query_status::ok)]),
+        static_cast<unsigned long long>(by_status[static_cast<std::size_t>(
+            gbbs::serve::query_status::rejected)]),
+        static_cast<unsigned long long>(by_status[static_cast<std::size_t>(
+            gbbs::serve::query_status::timed_out)]),
+        static_cast<unsigned long long>(by_status[static_cast<std::size_t>(
+            gbbs::serve::query_status::cancelled)]),
+        static_cast<unsigned long long>(by_status[static_cast<std::size_t>(
+            gbbs::serve::query_status::unavailable)]),
+        static_cast<unsigned long long>(shed),
+        static_cast<unsigned long long>(degraded),
+        static_cast<unsigned long long>(transitions),
+        static_cast<unsigned long long>(retries_done));
 
     char buf[240];
     std::snprintf(
