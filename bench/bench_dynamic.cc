@@ -8,9 +8,20 @@
 // is consumed once per measurement), plus the final static-rebuild
 // baseline build_symmetric_graph for reference.
 //
+// The `ingest_scaling` section sweeps batch size x shard count through
+// the multi-writer sharded ingest path (serve/sharded_ingest.h): the
+// same stream is normalized once per batch, split by vertex ownership,
+// and applied by N concurrent shard writers under the composite version
+// clock (publish per batch, flush at stream end). apply Me/s is the
+// end-to-end rate over the raw update count; speedup is relative to the
+// 1-shard row at the same batch size. On a single-core host the sweep
+// degenerates to context-switching overhead — the speedup column is only
+// meaningful when workers > 1.
+//
 // -json <path> emits the whole run as machine-readable rows (tracked as
 // BENCH_dynamic.json across PRs).
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -19,6 +30,7 @@
 #include "dynamic/incremental_connectivity.h"
 #include "dynamic/stream.h"
 #include "graph/graph_builder.h"
+#include "serve/sharded_ingest.h"
 
 namespace {
 
@@ -51,6 +63,34 @@ ingest_result replay(const std::vector<gbbs::edge<empty_weight>>& edges,
   }
   r.compact_s = bench::time_once([&] { dg.compact(); });
   r.batch_latency = bench::summarize(std::move(batch_s));
+  return r;
+}
+
+struct scaling_result {
+  double wall_s = 0;  // ingest loop through the final flush
+  bench::sample_stats ingest_latency;  // coordinator-side ingest() calls
+  std::uint64_t clock = 0;             // composite versions published
+};
+
+scaling_result replay_sharded(const std::vector<gbbs::edge<empty_weight>>& edges,
+                              vertex_id n, std::size_t batch_size,
+                              std::size_t shards) {
+  gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+  gbbs::serve::sharded_snapshot_manager<empty_weight> mgr(
+      n, {.num_shards = shards});
+  scaling_result r;
+  std::vector<double> ingest_s;
+  r.wall_s = bench::time_once([&] {
+    while (!stream.done()) {
+      auto raw = stream.next_inserts(batch_size);
+      ingest_s.push_back(
+          bench::time_once([&] { mgr.ingest(std::move(raw)); }));
+      mgr.publish();  // never waits: publishes the clock's current minimum
+    }
+    mgr.flush();
+  });
+  r.clock = mgr.composite_clock();
+  r.ingest_latency = bench::summarize(std::move(ingest_s));
   return r;
 }
 
@@ -93,6 +133,39 @@ int main(int argc, char** argv) {
                        .field("batch_p50_ms", r.batch_latency.p50 * 1e3)
                        .field("batch_p99_ms", r.batch_latency.p99 * 1e3));
   }
+  // Sharded ingest scaling: batch size x shard count, end-to-end
+  // (normalize + split + N concurrent shard applies + composite publish).
+  std::printf(
+      "\n== sharded ingest scaling (publish-per-batch + final flush) ==\n");
+  std::printf("%-12s %-8s %12s %12s %12s %12s\n", "batch", "shards",
+              "apply Me/s", "speedup", "ing p50(ms)", "ing p99(ms)");
+  std::map<std::size_t, double> one_shard_wall;
+  for (std::size_t batch_size :
+       {std::size_t{1} << 13, std::size_t{1} << 16}) {
+    for (std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      const auto r = replay_sharded(edges, n, batch_size, shards);
+      if (shards == 1) one_shard_wall[batch_size] = r.wall_s;
+      const double meps = medges / r.wall_s;
+      const double speedup = one_shard_wall[batch_size] / r.wall_s;
+      std::printf("%-12zu %-8zu %12.2f %12.2f %12.3f %12.3f\n", batch_size,
+                  shards, meps, speedup, r.ingest_latency.p50 * 1e3,
+                  r.ingest_latency.p99 * 1e3);
+      std::fflush(stdout);
+      rows.push_back(bench::json_record()
+                         .field("section", std::string("ingest_scaling"))
+                         .field("batch", batch_size)
+                         .field("shards", shards)
+                         .field("apply_meps", meps)
+                         .field("speedup_vs_1shard", speedup)
+                         .field("versions", r.clock)
+                         .field("ingest_p50_ms",
+                                r.ingest_latency.p50 * 1e3)
+                         .field("ingest_p99_ms",
+                                r.ingest_latency.p99 * 1e3));
+    }
+  }
+
   const double rebuild_s = bench::time_best([&] {
     auto rebuilt = gbbs::build_symmetric_graph<empty_weight>(n, edges);
     (void)rebuilt;

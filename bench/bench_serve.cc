@@ -31,6 +31,7 @@
 #include "robust/failpoint.h"
 #include "serve/query.h"
 #include "serve/query_engine.h"
+#include "serve/sharded_ingest.h"
 #include "serve/snapshot_manager.h"
 
 namespace {
@@ -272,6 +273,64 @@ overload_result run_overload(gbbs::graph<empty_weight> seed,
   return res;
 }
 
+// Sharded point reads: the same stream ingested through the multi-writer
+// sharded path while reader threads issue degree/neighbors queries that
+// the engine routes to the owning shard's seqlock overlay (shard-apply
+// freshness — no composite pin on the point-read path).
+struct sharded_serve_result {
+  double writer_s = 0;
+  double wall_s = 0;
+  std::size_t queries = 0;
+  bench::sample_stats latency;
+};
+
+sharded_serve_result run_sharded_points(
+    const std::vector<gbbs::edge<empty_weight>>& edges, vertex_id n,
+    std::size_t batch_size, std::size_t shards, std::size_t readers) {
+  gbbs::serve::sharded_snapshot_manager<empty_weight> mgr(
+      n, {.num_shards = shards});
+  sharded_serve_result res;
+  std::vector<double> latencies;
+  res.wall_s = bench::time_once([&] {
+    gbbs::serve::query_engine<empty_weight> engine(
+        mgr.store(), mgr.router(), readers);
+    std::atomic<bool> writer_done{false};
+    std::thread writer([&] {
+      parlib::worker_guard wg;
+      gbbs::dynamic::edge_stream<empty_weight> stream(edges);
+      res.writer_s = bench::time_once([&] {
+        while (!stream.done()) {
+          mgr.ingest(stream.next_inserts(batch_size));
+          mgr.publish();
+        }
+        mgr.flush();
+      });
+      writer_done.store(true, std::memory_order_release);
+    });
+    const std::size_t window = 64 * readers;
+    parlib::random rng(31);
+    std::size_t qi = 0;
+    std::vector<std::future<query_result>> inflight;
+    inflight.reserve(window);
+    while (!writer_done.load(std::memory_order_acquire)) {
+      inflight.clear();
+      for (std::size_t k = 0; k < window; ++k, ++qi) {
+        gbbs::serve::query q;
+        q.kind = (qi & 1) ? gbbs::serve::query_kind::neighbors
+                          : gbbs::serve::query_kind::degree;
+        q.u = static_cast<vertex_id>(rng.ith_rand(qi) % n);
+        inflight.push_back(engine.submit(q));
+      }
+      for (auto& f : inflight) latencies.push_back(f.get().latency_s);
+    }
+    writer.join();
+    engine.drain();
+  });
+  res.queries = latencies.size();
+  res.latency = bench::summarize(std::move(latencies));
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -342,6 +401,34 @@ int main(int argc, char** argv) {
                 .field("exec_p99_ms", ks.exec_p99_s * 1e3));
       }
     }
+  }
+
+  // Sharded point reads: owner-shard overlay routing under concurrent
+  // multi-writer ingest (1/2/4 shards at a fixed batch and reader count).
+  std::printf(
+      "\n== sharded point reads (batch=8192, readers=2, "
+      "publish-per-batch) ==\n");
+  std::printf("%-8s %12s %12s %10s %10s\n", "shards", "ingest Me/s",
+              "queries/s", "p50(ms)", "p99(ms)");
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2},
+                             std::size_t{4}}) {
+    const auto r = run_sharded_points(edges, n, /*batch_size=*/8192, shards,
+                                      /*readers=*/2);
+    std::printf("%-8zu %12.2f %12.0f %10.3f %10.3f\n", shards,
+                medges / r.writer_s,
+                static_cast<double>(r.queries) / r.wall_s,
+                r.latency.p50 * 1e3, r.latency.p99 * 1e3);
+    std::fflush(stdout);
+    rows.push_back(bench::json_record()
+                       .field("section", std::string("sharded_point_read"))
+                       .field("shards", shards)
+                       .field("batch", std::size_t{8192})
+                       .field("readers", std::size_t{2})
+                       .field("ingest_meps", medges / r.writer_s)
+                       .field("queries_per_s",
+                              static_cast<double>(r.queries) / r.wall_s)
+                       .field("point_p50_ms", r.latency.p50 * 1e3)
+                       .field("point_p99_ms", r.latency.p99 * 1e3));
   }
 
   // Publish latency vs graph scale at fixed batch size: flat across the

@@ -9,7 +9,10 @@ For every (section, metric) group — metrics are the latency-like fields:
 anything named *_p99_ms, *_p99_s, ns_per_*, emit_ns_*, fork_ns_* — the
 gate collects the metric across all sweep rows of that section and
 compares the *medians*: fresh median worse than baseline median * factor
-fails.
+fails. Throughput fields (*_meps: higher is better) are gated in the
+opposite direction — fresh median below baseline median / factor fails —
+but only when both files record the same bench scale, since a smaller
+smoke run legitimately sustains lower rates.
 
 Medians-across-rows rather than row-by-row is deliberate: a real
 regression (a lock landed on the hot path, an O(n) crept into publish)
@@ -40,7 +43,13 @@ def is_gated_metric(name):
         or name.startswith("ns_per_")
         or name.startswith("emit_ns_")
         or name.startswith("fork_ns_")
+        or is_throughput_metric(name)
     )
+
+
+# Higher-is-better rates (Medges/s): gated in the opposite direction.
+def is_throughput_metric(name):
+    return name.endswith("_meps")
 
 
 # Below these absolute values, a ratio says nothing (timer noise).
@@ -56,7 +65,7 @@ def unit_of(name):
 
 
 def load_groups(path):
-    """{(section, metric): [values across rows]}"""
+    """({(section, metric): [values across rows]}, bench scale or None)"""
     with open(path) as f:
         doc = json.load(f)
     groups = {}
@@ -65,7 +74,7 @@ def load_groups(path):
         for name, val in row.items():
             if is_gated_metric(name) and isinstance(val, (int, float)):
                 groups.setdefault((section, name), []).append(val)
-    return groups
+    return groups, doc.get("scale")
 
 
 def main(argv):
@@ -77,8 +86,19 @@ def main(argv):
     if "--factor" in argv:
         factor = float(argv[argv.index("--factor") + 1])
 
-    baseline = load_groups(baseline_path)
-    fresh = load_groups(fresh_path)
+    baseline, base_scale = load_groups(baseline_path)
+    fresh, fresh_scale = load_groups(fresh_path)
+    # Throughput ratios only mean something at matched problem size: a
+    # smaller CI smoke run (GBBS_BENCH_SCALE) legitimately sustains lower
+    # rates than the committed default-scale baseline, while its
+    # *latencies* only get faster — so cross-scale runs keep the latency
+    # gates and drop the throughput ones.
+    same_scale = base_scale is not None and base_scale == fresh_scale
+    if not same_scale:
+        print(
+            f"perf gate: scale mismatch (baseline {base_scale}, "
+            f"fresh {fresh_scale}) — throughput (*_meps) gates skipped"
+        )
 
     compared = 0
     failures = []
@@ -88,6 +108,20 @@ def main(argv):
             continue  # new measurement: nothing to regress against
         base_med = statistics.median(base_vals)
         fresh_med = statistics.median(fresh_vals)
+        if is_throughput_metric(name):
+            # Higher is better; no timer-resolution floor applies to a
+            # rate, so gate directly on the ratio of medians.
+            if not same_scale:
+                continue
+            compared += 1
+            if fresh_med < base_med / factor:
+                failures.append(
+                    f"  {section} :: {name}: median {fresh_med:.6g} "
+                    f"(over {len(fresh_vals)} rows) < baseline median "
+                    f"{base_med:.6g} (over {len(base_vals)} rows) "
+                    f"/ {factor:g}"
+                )
+            continue
         floor = MIN_ABS[unit_of(name)]
         if base_med < floor and fresh_med < floor:
             continue  # both at timer-resolution level

@@ -17,10 +17,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dynamic/dynamic_graph.h"
 #include "dynamic/update_batch.h"
+#include "parlib/monoid.h"
 #include "parlib/parallel.h"
 #include "parlib/sequence_ops.h"
 #include "parlib/union_find.h"
@@ -90,15 +92,37 @@ class incremental_connectivity {
     }
   }
 
-  // Recompute from scratch over the live edges of g (weak connectivity for
-  // asymmetric graphs). O(n + m · α(n)) work.
-  template <typename W>
-  void rebuild(const dynamic_graph<W>& g) {
+  // Merge explicit endpoint pairs — the sharded ingest path's barrier
+  // step: per-shard apply collects the insert links it saw, and the
+  // composite publish unites the union of all shards' pairs here.
+  // O(pairs · α(n)) work, unites fully parallel.
+  void unite_pairs(const std::vector<std::pair<vertex_id, vertex_id>>& links) {
+    if (links.empty()) return;
+    auto maxima = parlib::map(links, [](const auto& e) {
+      return std::max(e.first, e.second);
+    });
+    grow(static_cast<std::size_t>(
+             parlib::reduce(maxima, parlib::max_monoid<vertex_id>())) +
+         1);
+    auto joined = parlib::tabulate<std::size_t>(
+        links.size(), [&](std::size_t i) -> std::size_t {
+          return uf_.unite(links[i].first, links[i].second) ? 1 : 0;
+        });
+    num_components_ -= parlib::reduce_add(joined);
+  }
+
+  // Recompute from scratch over the live edges of any graph_view-shaped
+  // model — the dynamic graph itself, or the serving layer's stitched
+  // composite view (weak connectivity for asymmetric graphs).
+  // O(n + m · α(n)) work.
+  template <typename G>
+  void rebuild(const G& g) {
     const std::size_t n = g.num_vertices();
     uf_ = parlib::union_find(n);
     parlib::parallel_for(0, n, [&](std::size_t u) {
-      g.map_out_neighbors(static_cast<vertex_id>(u),
-                [&](vertex_id a, vertex_id b, W) { uf_.unite(a, b); });
+      g.map_out_neighbors(
+          static_cast<vertex_id>(u),
+          [&](vertex_id a, vertex_id b, auto) { uf_.unite(a, b); });
     });
     auto is_root = parlib::tabulate<std::size_t>(n, [&](std::size_t v) {
       return uf_.find(static_cast<vertex_id>(v)) == v ? 1 : 0;

@@ -1,0 +1,123 @@
+// Vertex-range sharding for the multi-writer ingest path (Schulz,
+// *Scalable Graph Algorithms*: contiguous vertex-range partitions keep a
+// shard's rows cache-local and make ownership a shift + modulo, not a
+// lookup table).
+//
+// Ownership is block-cyclic: vertex u belongs to shard
+// (u >> block_bits) % num_shards — contiguous blocks of 2^block_bits
+// vertices assigned round-robin, so the assignment is stable as the
+// vertex set grows (appending ids never reassigns an existing vertex) and
+// a growing graph stays balanced without knowing its final size.
+//
+// The double-booking invariant: a normalized batch is split so every
+// directed update (u, v) goes to owner(u). Symmetric batches are already
+// mirrored (make_batch emits both (u, v) and (v, u)), so a cross-shard
+// edge is double-booked — owner(u) gets the u-row entry, owner(v) the
+// v-row entry — and each shard's out/in rows stay locally complete: any
+// row a shard owns can be served (point reads) or traversed (analytics
+// stitching) without touching another shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dynamic/update_batch.h"
+#include "graph/graph.h"
+#include "parlib/parallel.h"
+#include "parlib/sequence_ops.h"
+
+namespace gbbs::dynamic {
+
+class shard_partition {
+ public:
+  // Blocks of 256 vertices by default: big enough that a shard's rows
+  // cluster (offsets/degree arrays stay cache-friendly per block), small
+  // enough that modest test graphs still spread across every shard.
+  shard_partition() = default;
+  explicit shard_partition(std::size_t num_shards,
+                           std::uint32_t block_bits = 8)
+      : num_shards_(num_shards == 0 ? 1 : num_shards),
+        block_bits_(block_bits) {}
+
+  std::size_t num_shards() const { return num_shards_; }
+  std::uint32_t block_bits() const { return block_bits_; }
+
+  std::size_t owner(vertex_id u) const {
+    return (static_cast<std::size_t>(u) >> block_bits_) % num_shards_;
+  }
+
+ private:
+  std::size_t num_shards_ = 1;
+  std::uint32_t block_bits_ = 8;
+};
+
+// Split a normalized batch into one sub-batch per shard by owner(u).
+// Each sub-batch is a filtered subsequence of the (u, v)-sorted input, so
+// it stays normalized (sorted, deduped, self-loop-free) and can be fed to
+// dynamic_graph::apply_batch directly — no re-normalization per shard.
+// Every sub-batch carries the *global* max_vertex so all shards grow
+// their vertex sets in lockstep (a composite view needs equal n).
+template <typename W>
+std::vector<update_batch<W>> split_batch(const update_batch<W>& batch,
+                                         const shard_partition& part) {
+  std::vector<update_batch<W>> out(part.num_shards());
+  if (part.num_shards() == 1) {
+    out[0] = batch;
+    return out;
+  }
+  const auto& ups = batch.updates;
+  for (std::size_t s = 0; s < part.num_shards(); ++s) {
+    auto keep = parlib::tabulate<std::uint8_t>(ups.size(), [&](std::size_t i) {
+      return static_cast<std::uint8_t>(part.owner(ups[i].u) == s);
+    });
+    out[s].updates = parlib::pack(ups, keep);
+    out[s].max_vertex = batch.max_vertex;
+  }
+  return out;
+}
+
+// Split a seed CSR into per-shard CSRs: shard s keeps the full vertex id
+// space but only the rows it owns (every other row is empty). The union
+// of the shards' rows is exactly the seed — each directed edge (u, v)
+// lives in owner(u)'s block only.
+template <typename W>
+std::vector<gbbs::graph<W>> split_seed(const gbbs::graph<W>& seed,
+                                       const shard_partition& part) {
+  const vertex_id n = seed.num_vertices();
+  std::vector<gbbs::graph<W>> out;
+  out.reserve(part.num_shards());
+  for (std::size_t s = 0; s < part.num_shards(); ++s) {
+    auto degs = parlib::tabulate<edge_id>(n, [&](std::size_t v) {
+      return part.owner(static_cast<vertex_id>(v)) == s
+                 ? static_cast<edge_id>(
+                       seed.out_degree(static_cast<vertex_id>(v)))
+                 : 0;
+    });
+    const edge_id total = parlib::scan_inplace(degs);
+    std::vector<edge_id> offsets(static_cast<std::size_t>(n) + 1);
+    parlib::parallel_for(0, n, [&](std::size_t v) { offsets[v] = degs[v]; });
+    offsets[n] = total;
+    std::vector<vertex_id> nghs(total);
+    std::vector<W> wghs;
+    if constexpr (!std::is_same_v<W, empty_weight>) wghs.resize(total);
+    parlib::parallel_for(0, n, [&](std::size_t vi) {
+      const auto v = static_cast<vertex_id>(vi);
+      if (part.owner(v) != s) return;
+      const auto row = seed.out_neighbors(v);
+      edge_id k = offsets[vi];
+      for (std::size_t j = 0; j < row.size(); ++j, ++k) {
+        nghs[k] = row[j];
+        if constexpr (!std::is_same_v<W, empty_weight>) {
+          wghs[k] = seed.out_weight(v, j);
+        }
+      }
+    });
+    out.emplace_back(n, total, seed.symmetric(), std::move(offsets),
+                     std::move(nghs), std::move(wghs));
+  }
+  return out;
+}
+
+}  // namespace gbbs::dynamic

@@ -3,8 +3,10 @@
 // and the whole analytics suite are written against, so any representation
 // that models it — the static CSR (`graph<W>`), the compressed CSR
 // (`compressed_graph<W>`), the live batch-dynamic graph
-// (`dynamic::dynamic_graph<W>`), or the serving layer's overlay-fused
-// `serve::dynamic_view<W>` — runs the same algorithms unmodified.
+// (`dynamic::dynamic_graph<W>`), the serving layer's overlay-fused
+// `serve::dynamic_view<W>`, or the sharded ingest path's stitched
+// `serve::composite_view<W>` (per-vertex routing to the owning shard's
+// base ⊕ delta rows) — runs the same algorithms unmodified.
 //
 // A model supplies:
 //   * num_vertices() / num_edges() — n and the *live* directed edge count

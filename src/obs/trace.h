@@ -8,6 +8,14 @@
 //   ingest.connectivity     incremental connectivity + link tracking
 //   ingest.overlay_refresh  overlay-index distill + seqlock publish
 //   ingest.publish          version publish into the snapshot store
+// Sharded-ingest stages (sharded_ingest.h; the coordinator emits
+// normalize/split/publish, each shard worker emits apply/refresh on its
+// own thread under the batch's trace id):
+//   ingest.shard.split      normalized batch -> per-shard sub-batches
+//   ingest.shard.apply      one shard's delta-overlay merge of its slice
+//   ingest.shard.refresh    one shard's overlay-index distill + publish
+//   ingest.barrier.merge    per-shard connectivity deltas -> global view
+//                           at the composite-publish barrier
 // Query-side stages (queue wait -> view selection -> execute) are
 // per-kind and live under "serve.query.*", attached by the query engine.
 //

@@ -5,10 +5,15 @@
 // A failpoint is a named site in the code (the taxonomy below is a stable
 // interface — see README "Robustness") that can be armed to fire:
 //
-//   serve.exec.delay      — latency injected before a query executes
-//   serve.submit.saturate — submit behaves as if the queue were full
-//   store.pin.fail        — snapshot pin behaves as if nothing is published
-//   ingest.publish.delay  — latency injected inside snapshot publication
+//   serve.exec.delay        — latency injected before a query executes
+//   serve.submit.saturate   — submit behaves as if the queue were full
+//   store.pin.fail          — snapshot pin behaves as if nothing is published
+//   ingest.publish.delay    — latency injected inside snapshot publication
+//   ingest.shard.apply.delay — latency injected before one shard worker's
+//                             batch apply (sharded_ingest.h): the hit shard
+//                             straggles, its clock entry lags, and the
+//                             composite version must hold back until it
+//                             catches up
 //
 // Arming is programmatic (tests) or via the environment (CI):
 //

@@ -93,4 +93,85 @@ class component_view {
   std::shared_ptr<const link_map> links_;  // anchor label -> merged root
 };
 
+// The writer-private machinery behind O(delta) component publishing: an
+// anchor label vector plus a link union-find over anchor labels, distilled
+// into an immutable component_view on demand (memoized until the next
+// merge dirties it). Factored out of snapshot_manager so both ingest
+// front-ends share one implementation — the single-writer manager tracks
+// per-batch, the sharded manager tracks the merged per-shard link deltas
+// at its composite-publish barrier.
+//
+// Not thread-safe: single owner (the writer / the publish-barrier thread).
+class component_tracker {
+ public:
+  // Links since the last anchor are kept below a constant bound so
+  // compressing them at publish costs the same at every graph scale; the
+  // O(n) re-anchor amortizes over the >= kLinkBudget merges that forced
+  // it. Callers check needs_anchor() after tracking a batch.
+  static constexpr std::size_t kLinkBudget = 4096;
+
+  // Record one merge edge in anchor-label space. O(α) amortized.
+  void track_pair(vertex_id u, vertex_id v) {
+    if (link_unite(anchor_label(u), anchor_label(v))) dirty_ = true;
+  }
+
+  bool needs_anchor() const { return link_uf_.size() > kLinkBudget; }
+  std::size_t num_links() const { return link_uf_.size(); }
+
+  // Re-anchor on fresh fully-materialized labels (seed, erase-triggered
+  // rebuild, link-budget overflow) and clear the link map.
+  void refresh_anchor(std::vector<vertex_id> labels) {
+    anchor_ = std::make_shared<const std::vector<vertex_id>>(
+        std::move(labels));
+    link_uf_.clear();
+    dirty_ = true;
+  }
+
+  // The current partition as an immutable O(1)-copy view. The compressed
+  // link map is memoized until the next merge, so back-to-back publishes
+  // pay O(1), not O(links).
+  component_view current() const {
+    if (dirty_) {
+      auto links = std::make_shared<component_view::link_map>();
+      links->reserve(link_uf_.size());
+      for (const auto& [from, _] : link_uf_) {
+        (*links)[from] = link_find(from);
+      }
+      cached_ = component_view(anchor_, std::move(links));
+      dirty_ = false;
+    }
+    return cached_;
+  }
+
+ private:
+  vertex_id anchor_label(vertex_id u) const {
+    return anchor_ != nullptr && u < anchor_->size() ? (*anchor_)[u] : u;
+  }
+
+  // Union-find over anchor labels (absent key = self root).
+  vertex_id link_find(vertex_id a) const {
+    for (;;) {
+      auto it = link_uf_.find(a);
+      if (it == link_uf_.end() || it->second == a) return a;
+      a = it->second;
+    }
+  }
+
+  // True iff this union merged two previously distinct components.
+  bool link_unite(vertex_id a, vertex_id b) {
+    a = link_find(a);
+    b = link_find(b);
+    if (a == b) return false;
+    if (a > b) std::swap(a, b);
+    link_uf_[b] = a;
+    link_uf_.try_emplace(a, a);  // make the root enumerable
+    return true;
+  }
+
+  std::shared_ptr<const std::vector<vertex_id>> anchor_;
+  std::unordered_map<vertex_id, vertex_id> link_uf_;
+  mutable component_view cached_;
+  mutable bool dirty_ = true;
+};
+
 }  // namespace gbbs::serve

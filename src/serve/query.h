@@ -37,6 +37,7 @@
 #include "graph/graph.h"
 #include "parlib/cancellation.h"
 #include "parlib/random.h"
+#include "serve/composite_view.h"
 #include "serve/dynamic_view.h"
 #include "serve/overlay_view.h"
 #include "serve/snapshot_store.h"
@@ -207,6 +208,31 @@ query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
   const overlay_snapshot<W>* ov = snap.overlay();
   query_result r;
   r.version = snap.version();
+  // Composite (sharded) versions: point reads route to the owning shard's
+  // snapshot, analytics traverse the stitched composite_view (or the
+  // memoized stitched CSR when explicitly stale). Connectivity kinds fall
+  // through to the shared components() path — the barrier-merged view.
+  if (const composite_snapshot<W>* cs = snap.composite()) {
+    switch (q.kind) {
+      case query_kind::degree:
+        r.value = cs->degree(q.u);
+        return r;
+      case query_kind::neighbors:
+        r.list = cs->neighbors(q.u);
+        return r;
+      case query_kind::connected:
+      case query_kind::component:
+        break;  // components() below
+      default:
+        if (!q.stale) {
+          r.value = query_internal::run_analytics(
+              composite_view<W>(snap.composite_handle()), q);
+        } else {
+          r.value = query_internal::run_analytics(snap.view(), q);
+        }
+        return r;
+    }
+  }
   switch (q.kind) {
     case query_kind::degree:
       if (ov != nullptr) {

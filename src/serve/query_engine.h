@@ -10,6 +10,16 @@
 // pin for exactly the query's duration, and records the version in the
 // result (stale analytics use the version's memoized merged CSR).
 //
+// Sharded routing. When the engine was given a shard_router (the sharded
+// ingest path, see sharded_ingest.h), per-vertex point reads (degree /
+// neighbors) go to the *owning* shard's seqlock overlay_view — no
+// cross-shard coordination on the read hot path, freshness = that shard's
+// last apply. Everything else — connectivity point reads, whose labels
+// are only merged across shards at the composite-publish barrier, and
+// whole-graph analytics, which need all shards at one clock value — pins
+// the latest composite version (execute_query routes through the stitched
+// composite payload).
+//
 // The pool runs concurrently with the single writer publishing into the
 // same snapshot_store — admission control is the lock-free pin (or the
 // seqlock overlay read), so readers never block ingest and ingest never
@@ -187,12 +197,24 @@ class query_engine {
                         query_engine_options options = {})
       : query_engine(store, nullptr, num_readers, options) {}
 
+  // Sharded engine: per-vertex point reads route to the owning shard's
+  // overlay (router = manager.router()); everything else pins the latest
+  // composite version. The routed overlay_views must outlive the engine.
+  query_engine(const snapshot_store<W>& store, shard_router<W> router,
+               std::size_t num_readers = 4, query_engine_options options = {})
+      : query_engine(store, nullptr, num_readers, options,
+                     std::move(router)) {}
+
   // Engine with a fresh path: all kinds are served from `overlay`
   // (pass &manager.overlay()) unless a query asks for `stale`.
   query_engine(const snapshot_store<W>& store,
                const overlay_view<W>* overlay, std::size_t num_readers = 4,
-               query_engine_options options = {})
-      : store_(store), overlay_(overlay), options_(options) {
+               query_engine_options options = {},
+               shard_router<W> router = {})
+      : store_(store),
+        overlay_(overlay),
+        router_(std::move(router)),
+        options_(options) {
     if (num_readers == 0) num_readers = 1;
     // Materialize the scheduler from the constructing thread before any
     // reader runs: if this were the process's first scheduler touch, a
@@ -634,11 +656,25 @@ class query_engine {
           }
           return store_.pin();
         };
-        if (overlay_ != nullptr && !it.q.stale) {
+        // Fresh-source selection: the single-writer overlay serves every
+        // kind; in sharded mode only per-vertex point reads are overlay-
+        // fresh (owner shard), the rest need the composite barrier and
+        // fall to the pinned path below.
+        const overlay_view<W>* fresh_src = nullptr;
+        if (!it.q.stale) {
+          if (overlay_ != nullptr) {
+            fresh_src = overlay_;
+          } else if (!router_.empty() &&
+                     (it.q.kind == query_kind::degree ||
+                      it.q.kind == query_kind::neighbors)) {
+            fresh_src = &router_.owner(it.q.u);
+          }
+        }
+        if (fresh_src != nullptr) {
           // Fresh path: the overlay index current right now (covers every
           // ingest that returned before this read) serves every kind —
           // analytics traverse it fused, no merged-CSR build.
-          if (auto idx = overlay_->read()) {
+          if (auto idx = fresh_src->read()) {
             // Brownout level >= 1: analytics route to the published
             // memoized merged CSR even when it lags the overlay —
             // lossy-but-bounded (degraded_staleness_bound), annotated on
@@ -791,6 +827,7 @@ class query_engine {
 
   const snapshot_store<W>& store_;
   const overlay_view<W>* overlay_ = nullptr;  // null: snapshot-only engine
+  const shard_router<W> router_;  // empty: not a sharded engine
   const query_engine_options options_;
   std::vector<std::thread> readers_;
 

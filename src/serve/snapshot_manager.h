@@ -182,21 +182,9 @@ class snapshot_manager {
   dynamic::incremental_connectivity& connectivity() { return cc_; }
 
   // The connectivity partition after the last ingest, as an immutable
-  // O(1)-copy view (what publish attaches to the next version). The
-  // compressed link map is memoized until the next batch adds merges, so
-  // back-to-back publishes pay O(1), not O(links).
-  component_view current_components() const {
-    if (components_dirty_) {
-      auto links = std::make_shared<component_view::link_map>();
-      links->reserve(link_uf_.size());
-      for (const auto& [from, _] : link_uf_) {
-        (*links)[from] = link_find(from);
-      }
-      cached_components_ = component_view(anchor_, std::move(links));
-      components_dirty_ = false;
-    }
-    return cached_components_;
-  }
+  // O(1)-copy view (what publish attaches to the next version). Memoized
+  // inside the tracker, so back-to-back publishes pay O(1), not O(links).
+  component_view current_components() const { return tracker_.current(); }
 
   // ---- reader side (any thread) ------------------------------------------
 
@@ -210,10 +198,8 @@ class snapshot_manager {
   const overlay_view<W>& overlay() const { return overlay_; }
 
  private:
-  static constexpr std::size_t kLinkBudget = 4096;
-
-  // Record the component merges an insert batch performed, in anchor-label
-  // space, into the writer's private link union-find. O(batch · α).
+  // Record the component merges an insert batch performed into the shared
+  // anchor + link-map tracker (component_view.h). O(batch · α).
   void track_links(const dynamic::update_batch<W>& batch) {
     if (batch.empty()) return;
     if (batch.has_erases()) {
@@ -223,49 +209,16 @@ class snapshot_manager {
       return;
     }
     for (const auto& up : batch.updates) {
-      if (link_unite(anchor_label(up.u), anchor_label(up.v))) {
-        components_dirty_ = true;
-      }
+      tracker_.track_pair(up.u, up.v);
     }
-    // Keep the link map bounded by a constant so compressing it at the
-    // next publish costs the same at every graph scale; the O(n)
-    // re-anchor amortizes over the >= kLinkBudget merges that forced it.
     // (In steady state — batches that merge nothing new — publishes reuse
-    // the memoized component view and pay nothing here.)
-    if (link_uf_.size() > kLinkBudget) refresh_anchor();
+    // the tracker's memoized component view and pay nothing here.)
+    if (tracker_.needs_anchor()) refresh_anchor();
   }
 
-  vertex_id anchor_label(vertex_id u) const {
-    return u < anchor_->size() ? (*anchor_)[u] : u;
-  }
-
-  // Writer-private union-find over anchor labels (absent key = self root).
-  vertex_id link_find(vertex_id a) const {
-    for (;;) {
-      auto it = link_uf_.find(a);
-      if (it == link_uf_.end() || it->second == a) return a;
-      a = it->second;
-    }
-  }
-
-  // True iff this union merged two previously distinct components.
-  bool link_unite(vertex_id a, vertex_id b) {
-    a = link_find(a);
-    b = link_find(b);
-    if (a == b) return false;
-    if (a > b) std::swap(a, b);
-    link_uf_[b] = a;
-    link_uf_.try_emplace(a, a);  // make the root enumerable
-    return true;
-  }
-
-  // Materialize fresh anchor labels (O(n)) and clear the link map. Called
-  // only at anchor events — seed, erase rebuild, link-budget overflow.
-  void refresh_anchor() {
-    anchor_ = std::make_shared<const std::vector<vertex_id>>(cc_.labels());
-    link_uf_.clear();
-    components_dirty_ = true;
-  }
+  // Materialize fresh anchor labels (O(n)) into the tracker. Called only
+  // at anchor events — seed, erase rebuild, link-budget overflow.
+  void refresh_anchor() { tracker_.refresh_anchor(cc_.labels()); }
 
   // Distill the current overlay into an immutable index and hand it to
   // readers through the seqlock. With `touched` (the batch's distinct
@@ -290,10 +243,7 @@ class snapshot_manager {
   // The index refresh_overlay last built (what publish attaches to a
   // delta-proportional version).
   std::shared_ptr<const overlay_snapshot<W>> last_index_;
-  std::shared_ptr<const std::vector<vertex_id>> anchor_;
-  std::unordered_map<vertex_id, vertex_id> link_uf_;
-  mutable component_view cached_components_;
-  mutable bool components_dirty_ = true;
+  component_tracker tracker_;
   std::uint64_t updates_ingested_ = 0;
   std::uint64_t last_published_updates_ = 0;
   std::uint64_t last_ingest_trace_id_ = 0;

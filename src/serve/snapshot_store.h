@@ -61,6 +61,7 @@
 
 #include "graph/graph.h"
 #include "serve/component_view.h"
+#include "serve/composite_view.h"
 #include "serve/overlay_view.h"
 
 namespace gbbs::serve {
@@ -74,6 +75,9 @@ struct version_payload {
   gbbs::graph<W> base;  // shared CSR block
   // Deltas relative to `base` (null or empty: the base is the live view).
   std::shared_ptr<const overlay_snapshot<W>> overlay;
+  // Sharded-ingest publications carry per-shard snapshots instead of a
+  // single base/overlay pair; view() stitches them (see composite_view.h).
+  std::shared_ptr<const composite_snapshot<W>> composite;
   component_view components;
 
   bool overlay_empty() const {
@@ -82,8 +86,13 @@ struct version_payload {
 
   // The version's full merged CSR, materialized at most once (lazily) and
   // shared by all pins of this version. O(1) when the overlay is empty —
-  // the base *is* the view.
+  // the base *is* the view. Composite versions stitch all shards' rows.
   const gbbs::graph<W>& view() const {
+    if (composite != nullptr) {
+      std::call_once(merged_once_,
+                     [&] { merged_ = composite->materialize(); });
+      return merged_;
+    }
     if (overlay_empty()) return base;
     std::call_once(merged_once_, [&] { merged_ = overlay->materialize(); });
     return merged_;
@@ -91,6 +100,7 @@ struct version_payload {
 
   // Live vertex/edge counts without materializing.
   vertex_id num_vertices() const {
+    if (composite != nullptr) return composite->n;
     return overlay == nullptr ? base.num_vertices() : overlay->n;
   }
 
@@ -135,6 +145,16 @@ class pinned_snapshot {
   // analytics traverse base ⊕ overlay without materializing the merge.
   std::shared_ptr<const overlay_snapshot<W>> overlay_handle() const {
     return payload_->overlay_empty() ? nullptr : payload_->overlay;
+  }
+
+  // The version's composite (sharded) payload, or null for single-writer
+  // versions. Point reads route to the owning shard through it; analytics
+  // traverse a composite_view built from the shared handle.
+  const composite_snapshot<W>* composite() const {
+    return payload_->composite.get();
+  }
+  std::shared_ptr<const composite_snapshot<W>> composite_handle() const {
+    return payload_->composite;
   }
 
   const component_view& components() const { return payload_->components; }
@@ -216,17 +236,7 @@ class snapshot_store {
     payload->base = std::move(base);
     payload->overlay = std::move(overlay);
     payload->components = std::move(components);
-    auto* n = new node();
-    n->payload = std::move(payload);
-    node* old = head_.load(std::memory_order_relaxed);
-    head_.store(n, std::memory_order_release);
-    current_version_.store(last_version_, std::memory_order_release);
-    if (old != nullptr) {
-      old->next_retired = retired_;
-      retired_ = old;
-    }
-    collect();
-    return last_version_;
+    return install(std::move(payload));
   }
 
   // Convenience overloads: publish a self-contained CSR (no overlay).
@@ -240,6 +250,21 @@ class snapshot_store {
     return publish(std::move(g), nullptr,
                    component_view::from_labels(std::move(labels)),
                    updates_ingested);
+  }
+
+  // Publish a composite (sharded) version: N per-shard overlay snapshots
+  // stitched behind one payload. Same O(delta) cost shape — shared
+  // handles only, the stitched CSR materializes lazily on analytics
+  // demand.
+  std::uint64_t publish_composite(
+      std::shared_ptr<const composite_snapshot<W>> comp,
+      component_view components, std::uint64_t updates_ingested = 0) {
+    auto payload = std::make_shared<version_payload<W>>();
+    payload->version = ++last_version_;
+    payload->updates_ingested = updates_ingested;
+    payload->composite = std::move(comp);
+    payload->components = std::move(components);
+    return install(std::move(payload));
   }
 
   // Free retired version nodes no reader is mid-handshake on. (Pinned
@@ -285,6 +310,22 @@ class snapshot_store {
     std::shared_ptr<const version_payload<W>> payload;
     node* next_retired = nullptr;  // writer-owned retire list
   };
+
+  // Swap a freshly built payload in as the new head and retire the old
+  // one (the shared tail of every publish flavor). Writer-only.
+  std::uint64_t install(std::shared_ptr<const version_payload<W>> payload) {
+    auto* n = new node();
+    n->payload = std::move(payload);
+    node* old = head_.load(std::memory_order_relaxed);
+    head_.store(n, std::memory_order_release);
+    current_version_.store(last_version_, std::memory_order_release);
+    if (old != nullptr) {
+      old->next_retired = retired_;
+      retired_ = old;
+    }
+    collect();
+    return last_version_;
+  }
 
   static constexpr std::size_t kHazardSlots = 64;
 

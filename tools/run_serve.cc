@@ -10,6 +10,12 @@
 // Flags (besides the shared runner.h set):
 //   -batch <b>        updates per ingest batch (default 1 << 13)
 //   -readers <r>      query reader threads (default 4)
+//   -shards <s>       multi-writer sharded ingest (serve/sharded_ingest.h):
+//                     s concurrent shard writers under the composite
+//                     version clock; degree/neighbors point reads route to
+//                     the owning shard's overlay, analytics pin the latest
+//                     composite version (default 0 = single-writer
+//                     snapshot_manager)
 //   -read-ratio <f>   fraction of trace operations that are queries, in
 //                     [0, 1) (default 0.5); queries per batch =
 //                     batch * f / (1 - f)
@@ -82,6 +88,7 @@
 #include "serve/dynamic_view.h"
 #include "serve/query.h"
 #include "serve/query_engine.h"
+#include "serve/sharded_ingest.h"
 #include "serve/snapshot_manager.h"
 
 namespace {
@@ -96,6 +103,7 @@ int main(int argc, char** argv) {
   auto o = tools::parse(argc, argv);
   std::size_t batch_size = std::size_t{1} << 13;
   std::size_t readers = 4;
+  std::size_t shards = 0;
   double read_ratio = 0.5;
   bool heavy = false;
   bool fresh = true;
@@ -116,6 +124,8 @@ int main(int argc, char** argv) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-readers") && i + 1 < argc) {
       readers = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-shards") && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-read-ratio") && i + 1 < argc) {
       read_ratio = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-heavy")) {
@@ -187,14 +197,24 @@ int main(int argc, char** argv) {
   auto stream_edges = gbbs::dynamic::undirected_stream_edges(g);
   std::printf(
       "serve: n=%u, %zu streamed edges, batch=%zu, readers=%zu, "
-      "%zu queries/batch%s%s%s\n",
+      "%zu queries/batch%s%s%s",
       n, stream_edges.size(), batch_size, readers, queries_per_batch,
       heavy ? " (heavy mix)" : "", fresh ? "" : " (no fresh path)",
       stale_auto ? " (stale-auto)" : "");
+  if (shards > 0) std::printf(", %zu ingest shards", shards);
+  std::printf("\n");
 
-  tools::run_rounds("serve", o, [&]() {
+  // One round body shared by both ingest paths: the manager only needs
+  // ingest/publish/current_version/store; the fresh-read source (single
+  // overlay vs per-shard router), the end-of-stream flush, the compaction
+  // count, and the verification are passed in by the dispatcher below.
+  auto serve_round = [&](auto& mgr,
+                         const gbbs::serve::overlay_view<empty_weight>*
+                             overlay,
+                         gbbs::serve::shard_router<empty_weight> router,
+                         auto&& final_flush, auto&& count_compactions,
+                         auto&& verify_round) -> std::string {
     gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
-    gbbs::serve::snapshot_manager<empty_weight> mgr(n);
     std::vector<std::future<query_result>> futures;
     std::vector<query_result> results;  // resolved inline by the retry loop
     parlib::random rng(o.seed);
@@ -216,7 +236,7 @@ int main(int argc, char** argv) {
         gbbs::obs::registry::global().get_counter("serve.query.retries");
     {
       gbbs::serve::query_engine<empty_weight> engine(
-          mgr.store(), fresh ? &mgr.overlay() : nullptr, readers, opts);
+          mgr.store(), overlay, readers, opts, std::move(router));
       // Submit with bounded retry: a rejected submit (queue overflow or
       // brownout shed) resolves its future immediately, so readiness right
       // after submit is the reject signal. Jittered exponential backoff
@@ -269,6 +289,7 @@ int main(int argc, char** argv) {
           }
           rng = rng.next();
         }
+        final_flush();
         engine.drain();
       });
       kinds = engine.latency_by_kind();
@@ -354,11 +375,44 @@ int main(int argc, char** argv) {
         "queries %zu @ %.1f kq/s | latency ms p50=%.3f p90=%.3f p99=%.3f "
         "max=%.3f",
         batches, static_cast<std::size_t>(mgr.current_version()),
-        mgr.num_compactions(), static_cast<double>(updates) / wall / 1e6,
+        count_compactions(), static_cast<double>(updates) / wall / 1e6,
         stats.count, static_cast<double>(stats.count) / wall / 1e3,
         stats.p50 * 1e3, stats.p90 * 1e3, stats.p99 * 1e3, stats.max * 1e3);
 
-    if (o.verify) {
+    if (o.verify) tools::report_verification("serve", verify_round());
+    return std::string(buf);
+  };
+
+  tools::run_rounds("serve", o, [&]() -> std::string {
+    if (shards > 0) {
+      gbbs::serve::sharded_snapshot_manager<empty_weight> mgr(
+          n, {.num_shards = shards});
+      // Composite verification: the stitched CSR's edge count and the
+      // barrier-merged component partition against a from-scratch static
+      // connectivity over the same composite view.
+      auto verify = [&]() -> bool {
+        auto snap = mgr.pin();
+        bool ok = snap && snap.view().num_edges() == 2 * stream_edges.size();
+        ok = ok && gbbs::same_partition(
+                       snap.components().materialize(snap.num_vertices()),
+                       gbbs::connectivity(snap.view()));
+        return ok;
+      };
+      return serve_round(
+          mgr, nullptr,
+          fresh ? mgr.router() : gbbs::serve::shard_router<empty_weight>{},
+          [&] { mgr.flush(); },
+          [&] {
+            std::size_t c = 0;
+            for (std::size_t s = 0; s < mgr.num_shards(); ++s) {
+              c += mgr.shard_graph(s).num_compactions();
+            }
+            return c;
+          },
+          verify);
+    }
+    gbbs::serve::snapshot_manager<empty_weight> mgr(n);
+    auto verify = [&]() -> bool {
       auto snap = mgr.pin();
       bool ok = snap && snap.view().num_edges() == 2 * stream_edges.size();
       const auto static_labels = gbbs::connectivity(snap.view());
@@ -373,9 +427,12 @@ int main(int argc, char** argv) {
         ok = ok && gbbs::same_partition(gbbs::connectivity(dv),
                                         static_labels);
       }
-      tools::report_verification("serve", ok);
-    }
-    return std::string(buf);
+      return ok;
+    };
+    return serve_round(
+        mgr, fresh ? &mgr.overlay() : nullptr,
+        gbbs::serve::shard_router<empty_weight>{}, [] {},
+        [&] { return mgr.num_compactions(); }, verify);
   });
 
   // At-exit observability artifacts: the slowest-query exemplar report

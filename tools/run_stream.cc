@@ -10,6 +10,11 @@
 //                     auto-compact when the delta overlay exceeds fraction
 //                     f of the base edge count (default 0 = only the final
 //                     manual compact; see dynamic_graph::set_compact_threshold)
+//   -shards <s>       route the stream through the multi-writer sharded
+//                     ingest path (serve/sharded_ingest.h): s concurrent
+//                     shard writers under the composite version clock,
+//                     publish per batch + flush at stream end (default 0 =
+//                     the single-writer dynamic_graph loop below)
 //   -verify           after the stream: check the compacted CSR against a
 //                     from-scratch rebuild (insert-only runs) and the
 //                     incremental connectivity partition against the
@@ -36,6 +41,7 @@
 #include "obs/trace_export.h"
 #include "parlib/trace_hooks.h"
 #include "runner.h"
+#include "serve/sharded_ingest.h"
 
 namespace {
 
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   auto o = tools::parse(argc, argv);
   std::size_t batch_size = std::size_t{1} << 14;
   std::size_t erase_every = 0;
+  std::size_t shards = 0;
   double compact_threshold = 0;
   std::string metrics_json;
   std::string trace_out;
@@ -70,6 +77,8 @@ int main(int argc, char** argv) {
       batch_size = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-erase-every") && i + 1 < argc) {
       erase_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-shards") && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-compact-threshold") && i + 1 < argc) {
       compact_threshold = std::strtod(argv[++i], nullptr);
     } else if (!std::strcmp(argv[i], "-metrics-json") && i + 1 < argc) {
@@ -109,6 +118,78 @@ int main(int argc, char** argv) {
               stream_edges.size(), batch_size,
               erase_every ? " (with erases)" : "");
 
+  if (shards > 0) {
+    // Multi-writer sharded ingest: the coordinator normalizes + splits,
+    // N shard workers apply concurrently, and the composite version clock
+    // gates visibility (publish per batch never waits on a straggler;
+    // flush at stream end forces full visibility before reporting).
+    tools::run_rounds("stream", o, [&]() {
+      gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
+      gbbs::serve::sharded_snapshot_manager<empty_weight> mgr(
+          n, {.num_shards = shards, .compact_threshold = compact_threshold});
+      parlib::random rng(o.seed);
+      std::size_t batches = 0, erase_batches = 0, updates = 0;
+      while (!stream.done()) {
+        auto raw = stream.next_inserts(batch_size);
+        updates += raw.size();
+        mgr.ingest(std::move(raw));
+        mgr.publish();
+        ++batches;
+        if (erase_every != 0 && batches % erase_every == 0) {
+          auto erases = stream.sample_erases(
+              std::max<std::size_t>(1, batch_size / 4), rng);
+          rng = rng.next();
+          if (!erases.empty()) {
+            updates += erases.size();
+            mgr.ingest(std::move(erases));
+            mgr.publish();
+            ++erase_batches;
+          }
+        }
+      }
+      mgr.flush();
+      auto snap = mgr.pin();
+      auto labels = snap.components().materialize(snap.num_vertices());
+      std::size_t components = 0;
+      for (vertex_id v = 0; v < snap.num_vertices(); ++v) {
+        if (labels[v] == v) ++components;
+      }
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "%zu batches (%zu erase batches) x %zu shards, "
+                    "%zu raw updates, clock=%llu, m=%llu, %zu components",
+                    batches, erase_batches, mgr.num_shards(), updates,
+                    static_cast<unsigned long long>(mgr.composite_clock()),
+                    static_cast<unsigned long long>(snap.view().num_edges()),
+                    components);
+      if (o.verify) {
+        bool ok = true;
+        const auto view = snap.view();
+        if (erase_every == 0) {
+          // Insert-only: the stitched composite must equal the static
+          // rebuild row for row (same ascending neighbor order).
+          auto rebuilt =
+              gbbs::build_symmetric_graph<empty_weight>(n, stream_edges);
+          ok = view.num_vertices() == rebuilt.num_vertices() &&
+               view.num_edges() == rebuilt.num_edges();
+          for (vertex_id v = 0; ok && v < n; ++v) {
+            auto nb = rebuilt.out_neighbors(v);
+            std::size_t j = 0;
+            view.map_out_neighbors(v, [&](vertex_id, vertex_id ngh,
+                                          empty_weight) {
+              if (j >= nb.size() || nb[j] != ngh) ok = false;
+              ++j;
+            });
+            ok = ok && j == nb.size();
+          }
+        }
+        ok = ok &&
+             gbbs::same_partition(labels, gbbs::connectivity(view));
+        tools::report_verification("stream", ok);
+      }
+      return std::string(buf);
+    });
+  } else {
   tools::run_rounds("stream", o, [&]() {
     gbbs::dynamic::edge_stream<empty_weight> stream(stream_edges);
     gbbs::dynamic::dynamic_unweighted_graph dg(n);
@@ -163,6 +244,7 @@ int main(int argc, char** argv) {
     }
     return std::string(buf);
   });
+  }
 
   if (!trace_out.empty()) {
     if (gbbs::obs::write_chrome_trace(trace_out)) {
