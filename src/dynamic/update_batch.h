@@ -58,6 +58,20 @@ struct update_batch {
              return e.op == update_op::erase;
            }) > 0;
   }
+
+  // The batch's delta summary: distinct updated source endpoints, in
+  // ascending order. For a mirrored (symmetric) batch this is every vertex
+  // whose adjacency row the batch changes — the consumers downstream (the
+  // overlay index refresh and the result cache's touched-bucket
+  // invalidation) all operate per-row. One pass suffices because the batch
+  // is (u, v)-sorted.
+  std::vector<vertex_id> touched_vertices() const {
+    std::vector<vertex_id> out;
+    for (const auto& up : updates) {
+      if (out.empty() || out.back() != up.u) out.push_back(up.u);
+    }
+    return out;
+  }
 };
 
 namespace internal {

@@ -18,6 +18,11 @@
 //                           at the composite-publish barrier
 // Query-side stages (queue wait -> view selection -> execute) are
 // per-kind and live under "serve.query.*", attached by the query engine.
+// Result-cache stages/events (result_cache.h; counters live under
+// "serve.cache.{hits,misses,invalidations,entries}"):
+//   serve.cache.lookup      cache probe ahead of view selection; the
+//                           paired serve.cache.hit / serve.cache.miss
+//                           instants mark the outcome on the timeline
 //
 // Spans nest: a thread-local depth tracks containment (purely
 // observational — children are not linked to parents; each stage

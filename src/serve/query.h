@@ -26,6 +26,7 @@
 // unreachable, their own singleton component.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "serve/composite_view.h"
 #include "serve/dynamic_view.h"
 #include "serve/overlay_view.h"
+#include "serve/read_set.h"
 #include "serve/snapshot_store.h"
 
 namespace gbbs::serve {
@@ -54,9 +56,17 @@ enum class query_kind : std::uint8_t {
   triangles,     // value = triangle count of the version
   connectivity_refine,  // value = #components by from-scratch traversal
                         // (audits the incrementally maintained labels)
+
+  // Sentinel — keep last. Everything sized per kind (the name table below,
+  // the engine's per-kind latency histograms, run_serve's table, the result
+  // cache's per-kind stats) derives its extent from this, so adding a kind
+  // above without updating a consumer is a compile error, not a silent
+  // desync.
+  num_kinds,
 };
 
-inline constexpr std::size_t kNumQueryKinds = 8;
+inline constexpr std::size_t kNumQueryKinds =
+    static_cast<std::size_t>(query_kind::num_kinds);
 
 // Point reads are the kinds served in O(1)/O(deg) from the overlay index
 // without any traversal.
@@ -65,18 +75,26 @@ inline bool is_point_read(query_kind k) {
          k == query_kind::connected || k == query_kind::component;
 }
 
+// One name per kind, indexed by enumerator value. A kind added to the enum
+// without a name here value-initializes the tail slot to nullptr and trips
+// the static_assert; one name too many fails the array initializer.
+inline constexpr std::array<const char*, kNumQueryKinds> kQueryKindNames{
+    "degree",       "neighbors", "connected",
+    "component",    "bfs_distance", "kcore_max",
+    "triangles",    "connectivity_refine"};
+
+static_assert(
+    [] {
+      for (const char* name : kQueryKindNames) {
+        if (name == nullptr) return false;
+      }
+      return true;
+    }(),
+    "every query_kind needs an entry in kQueryKindNames");
+
 inline const char* query_kind_name(query_kind k) {
-  switch (k) {
-    case query_kind::degree: return "degree";
-    case query_kind::neighbors: return "neighbors";
-    case query_kind::connected: return "connected";
-    case query_kind::component: return "component";
-    case query_kind::bfs_distance: return "bfs_distance";
-    case query_kind::kcore_max: return "kcore_max";
-    case query_kind::triangles: return "triangles";
-    case query_kind::connectivity_refine: return "connectivity_refine";
-  }
-  return "?";
+  const auto i = static_cast<std::size_t>(k);
+  return i < kNumQueryKinds ? kQueryKindNames[i] : "?";
 }
 
 // How a submitted query resolved. Every future the engine hands out becomes
@@ -174,20 +192,40 @@ inline query make_mixed_query(const parlib::random& rng, std::size_t i,
 
 namespace query_internal {
 
-// Run one traversal analytics kind over any graph_view model.
+// Run one traversal analytics kind over any graph_view model. When `rec`
+// is set, the traversal's read-set is captured for the result cache: BFS
+// runs over a recording_view (so exactly the rows the frontier expansion
+// reads are recorded, plus both query endpoints); the whole-graph kinds
+// (kcore / triangles / connectivity refinement) read every row by
+// construction and record the universe.
 template <graph_view G>
-std::uint64_t run_analytics(const G& g, const query& q) {
+std::uint64_t run_analytics(const G& g, const query& q,
+                            read_set_recorder* rec = nullptr) {
   switch (q.kind) {
-    case query_kind::bfs_distance:
+    case query_kind::bfs_distance: {
+      if (rec != nullptr) {
+        // Seed with both endpoints: an unreachable / out-of-range target's
+        // row is never traversed, but an update touching it can change the
+        // answer (a new edge can make it reachable).
+        rec->record(q.u);
+        rec->record(q.v);
+      }
       if (q.u < g.num_vertices() && q.v < g.num_vertices()) {
+        if (rec != nullptr) {
+          return gbbs::bfs(recording_view<G>(g, rec), q.u)[q.v];
+        }
         return gbbs::bfs(g, q.u)[q.v];
       }
       return q.u == q.v ? 0 : gbbs::kInfDist;
+    }
     case query_kind::kcore_max:
+      if (rec != nullptr) rec->record_all();
       return gbbs::kcore(g).max_core;
     case query_kind::triangles:
+      if (rec != nullptr) rec->record_all();
       return gbbs::triangle_count(g);
     case query_kind::connectivity_refine:
+      if (rec != nullptr) rec->record_all();
       return gbbs::component_representatives(gbbs::connectivity(g)).size();
     default:
       return 0;  // not an analytics kind
@@ -201,9 +239,12 @@ std::uint64_t run_analytics(const G& g, const query& q) {
 // the version's overlay (base ⊕ deltas) when it has one; analytics
 // traverse the overlay through a dynamic_view — neither materializes the
 // merged CSR. Only q.stale analytics pay the (memoized, once-per-version)
-// merge via view().
+// merge via view(). `rec` (optional) captures the analytics read-set for
+// the result cache (see run_analytics); point-read kinds derive their
+// read-set from the key alone and ignore it.
 template <typename W>
-query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
+query_result execute_query(const pinned_snapshot<W>& snap, const query& q,
+                           read_set_recorder* rec = nullptr) {
   const vertex_id n = snap.num_vertices();
   const overlay_snapshot<W>* ov = snap.overlay();
   query_result r;
@@ -226,9 +267,9 @@ query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
       default:
         if (!q.stale) {
           r.value = query_internal::run_analytics(
-              composite_view<W>(snap.composite_handle()), q);
+              composite_view<W>(snap.composite_handle()), q, rec);
         } else {
-          r.value = query_internal::run_analytics(snap.view(), q);
+          r.value = query_internal::run_analytics(snap.view(), q, rec);
         }
         return r;
     }
@@ -260,9 +301,9 @@ query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
     default:  // traversal analytics
       if (ov != nullptr && !q.stale) {
         r.value = query_internal::run_analytics(
-            dynamic_view<W>(snap.overlay_handle()), q);
+            dynamic_view<W>(snap.overlay_handle()), q, rec);
       } else {
-        r.value = query_internal::run_analytics(snap.view(), q);
+        r.value = query_internal::run_analytics(snap.view(), q, rec);
       }
       break;
   }
@@ -272,10 +313,12 @@ query_result execute_query(const pinned_snapshot<W>& snap, const query& q) {
 // Execute any query against the freshest overlay index (the delta-aware
 // fresh path): point reads straight off the index, analytics through the
 // overlay-fused dynamic_view. Pure read over immutable shared data; safe
-// from any thread. Never materializes the merged CSR.
+// from any thread. Never materializes the merged CSR. `rec` (optional)
+// captures the analytics read-set for the result cache.
 template <typename W>
 query_result execute_fresh_query(
-    std::shared_ptr<const overlay_snapshot<W>> idx, const query& q) {
+    std::shared_ptr<const overlay_snapshot<W>> idx, const query& q,
+    read_set_recorder* rec = nullptr) {
   query_result r;
   r.version = idx->base_version;
   r.epoch = idx->epoch;
@@ -294,7 +337,7 @@ query_result execute_fresh_query(
       break;
     default:
       r.value = query_internal::run_analytics(
-          dynamic_view<W>(std::move(idx)), q);
+          dynamic_view<W>(std::move(idx)), q, rec);
       break;
   }
   return r;

@@ -85,10 +85,31 @@
 // identical to fresh ones and freshness is never silently lost. The
 // manual q.stale flag remains an unconditional override.
 //
+// Result cache (options.cache — see result_cache.h). When wired, a
+// non-stale query first consults the cache ("serve.cache.lookup" span): a
+// hit skips execution entirely and is provably identical to re-executing
+// fresh (the cache's read-set/epoch check). Misses execute normally with
+// a read-set recorder threaded through the traversal and publish the
+// result back. The same cache instance must be attached to the ingest
+// manager (attach_cache) so batches invalidate it; the engine and the
+// manager must share one cache, and one engine serves one ingest domain.
+// Explicitly-stale, degraded, and non-ok results are never cached.
+//
+// Standing queries (subscribe()). A subscription registers a watch
+// evaluated once at registration and then re-evaluated only when an
+// ingest batch touches its recorded read-set (the cache's delta-summary
+// listener feeds the trigger). Results are pushed into a bounded
+// drop-oldest channel (poll / wait, plus an optional callback invoked
+// from the evaluating reader thread). Re-evaluations ride the normal
+// reader pool — they appear in the per-kind stats — and coalesce: batches
+// landing while a re-eval is in flight collapse into one follow-up
+// evaluation, so a subscriber always converges to the freshest answer
+// without unbounded queueing. Requires options.cache.
+//
 // Lifetime: the engine must be destroyed (or stop()ed) before the
 // snapshot_store / overlay_view it reads from. The destructor finishes
 // all queued queries first, so every future obtained from submit()
-// becomes ready.
+// becomes ready; stop() also closes every subscription channel.
 #pragma once
 
 #include <array>
@@ -97,7 +118,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -108,6 +131,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "parlib/cancellation.h"
 #include "parlib/counters.h"
 #include "parlib/scheduler.h"
@@ -115,9 +139,108 @@
 #include "robust/failpoint.h"
 #include "serve/overlay_view.h"
 #include "serve/query.h"
+#include "serve/read_set.h"
+#include "serve/result_cache.h"
 #include "serve/snapshot_store.h"
 
 namespace gbbs::serve {
+
+// A standing query's live handle (see query_engine::subscribe). Results
+// are pushed into a bounded drop-oldest channel: a slow consumer loses
+// the *oldest* undelivered results (dropped() counts them) and always
+// finds the freshest at the back — convergence beats completeness for a
+// watch. Thread-safe; outliving the engine is fine (the channel is closed
+// at engine stop and poll/wait then report what is already buffered).
+class subscription {
+ public:
+  // Non-blocking: pop the oldest buffered result. False if none buffered.
+  bool poll(query_result* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (chan_.empty()) return false;
+    *out = std::move(chan_.front());
+    chan_.pop_front();
+    return true;
+  }
+
+  // Block until a result is available (or timeout / channel close). False
+  // on timeout or close with nothing buffered.
+  bool wait(query_result* out, double timeout_s) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::duration<double>(timeout_s),
+                 [&] { return !chan_.empty() || closed_; });
+    if (chan_.empty()) return false;
+    *out = std::move(chan_.front());
+    chan_.pop_front();
+    return true;
+  }
+
+  // Results pushed into the channel (including any later dropped).
+  std::uint64_t delivered() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return delivered_;
+  }
+  // Results evicted unread by the drop-oldest overflow policy.
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+  }
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+  const query& watched() const { return q_; }
+
+ private:
+  template <typename>
+  friend class query_engine;
+
+  subscription(query q, std::size_t cap,
+               std::function<void(const query_result&)> cb)
+      : q_(q), cap_(cap == 0 ? 1 : cap), cb_(std::move(cb)) {}
+
+  // Called by the evaluating reader thread; the optional callback runs
+  // there too (keep it cheap, it holds a reader).
+  void deliver(const query_result& r) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (closed_) return;
+      if (chan_.size() >= cap_) {
+        chan_.pop_front();
+        ++dropped_;
+      }
+      chan_.push_back(r);
+      ++delivered_;
+    }
+    cv_.notify_all();
+    if (cb_) cb_(r);
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  const query q_;
+  const std::size_t cap_;
+  const std::function<void(const query_result&)> cb_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<query_result> chan_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool closed_ = false;
+
+  // Engine-side trigger state, guarded by the engine's subs_mutex_:
+  // reads_ is the read-set of the last evaluation (all-buckets until the
+  // first one lands); eval_state_ coalesces triggers — 0 idle, 1 re-eval
+  // queued or running, 2 running with a batch landed since (one follow-up
+  // re-eval is queued when it finishes).
+  bucket_set reads_;
+  int eval_state_ = 0;
+};
 
 struct query_engine_options {
   // Max queries waiting in the submit queue; 0 = unbounded (the PR-2
@@ -169,6 +292,14 @@ struct query_engine_options {
   // fresh path is used even under brownout — degradation is lossy but
   // never unboundedly stale.
   std::uint64_t degraded_staleness_bound = 1ull << 16;
+
+  // Result cache (result_cache.h): non-stale queries consult it before
+  // executing and publish canonical results back into it; also the
+  // delta-summary source for subscribe(). The same instance MUST be
+  // attached to the ingest manager feeding this engine's store/overlay
+  // (snapshot_manager::attach_cache / sharded's), and must outlive the
+  // engine. Null disables caching and standing queries.
+  result_cache* cache = nullptr;
 };
 
 template <typename W>
@@ -274,6 +405,20 @@ class query_engine {
                        : options_.max_queue - options_.max_queue / 4;
     brownout_enabled_ = options_.brownout && bn_degrade_ != 0 &&
                         bn_shed_low_ != 0 && bn_shed_all_ != 0;
+    cache_ = options_.cache;
+    if (cache_ != nullptr) {
+      cache_hit_name_id_ = fr.intern("serve.cache.hit");
+      cache_miss_name_id_ = fr.intern("serve.cache.miss");
+      // Standing-query trigger: the ingest manager publishes each batch's
+      // touched-bucket summary through the shared cache once the batch is
+      // reader-visible; intersecting subscriptions get a re-eval enqueued
+      // on the normal reader pool. Removed in stop() before the engine's
+      // state can go away.
+      cache_listener_id_ = cache_->add_listener(
+          [this](const bucket_set& touched, std::uint64_t epoch) {
+            on_delta(touched, epoch);
+          });
+    }
     readers_.reserve(num_readers);
     for (std::size_t i = 0; i < num_readers; ++i) {
       readers_.emplace_back([this] { reader_loop(); });
@@ -373,7 +518,10 @@ class query_engine {
     idle_cv_.wait(lk, [this] { return completed_ == submitted_; });
   }
 
-  // Finish all queued queries, then join the readers. Idempotent.
+  // Finish all queued queries, then join the readers. Idempotent. Also
+  // detaches the cache listener (no standing-query triggers fire after
+  // this returns) and closes every subscription channel so blocked
+  // wait()ers wake.
   void stop() {
     {
       std::lock_guard<std::mutex> lk(mutex_);
@@ -384,6 +532,73 @@ class query_engine {
     space_cv_.notify_all();
     for (auto& t : readers_) t.join();
     readers_.clear();
+    if (cache_ != nullptr && cache_listener_id_ != 0) {
+      // Blocks until no notify() is mid-listener, so after this the
+      // ingest thread can no longer reach into this engine.
+      cache_->remove_listener(cache_listener_id_);
+      cache_listener_id_ = 0;
+    }
+    std::vector<std::shared_ptr<subscription>> subs;
+    {
+      std::lock_guard<std::mutex> lk(subs_mutex_);
+      subs.swap(subs_);
+    }
+    for (const auto& sp : subs) sp->close();
+  }
+
+  // Register a standing query: evaluated once now, then re-evaluated
+  // whenever an ingest batch touches its recorded read-set, each result
+  // pushed into the subscription's bounded channel (and the optional
+  // callback, invoked from the evaluating reader thread). Requires a
+  // wired result cache — returns nullptr without one. The handle returned
+  // by a subscribe() racing stop() comes back already closed. Thread-safe.
+  std::shared_ptr<subscription> subscribe(
+      query q, std::size_t channel_capacity = 8,
+      std::function<void(const query_result&)> callback = {}) {
+    if (cache_ == nullptr) return nullptr;
+    // Standing queries are engine-managed: deadline/cancel/stale belong
+    // to one-shot requests.
+    q.deadline_s = 0;
+    q.cancel = nullptr;
+    q.stale = false;
+    auto sp = std::shared_ptr<subscription>(
+        new subscription(q, channel_capacity, std::move(callback)));
+    // Trigger on anything until the first evaluation records the real
+    // read-set (sound: never misses a relevant batch).
+    sp->reads_.set_all();
+    {
+      std::lock_guard<std::mutex> lk(subs_mutex_);
+      subs_.push_back(sp);
+      sp->eval_state_ = 1;
+    }
+    if (!enqueue_sub(sp)) {
+      std::lock_guard<std::mutex> lk(subs_mutex_);
+      sp->eval_state_ = 0;
+      sp->close();
+    }
+    return sp;
+  }
+
+  // Deregister a standing query and close its channel (already-buffered
+  // results stay pollable). An in-flight re-evaluation may still finish;
+  // its delivery lands on a closed channel and is discarded.
+  void unsubscribe(const std::shared_ptr<subscription>& sp) {
+    if (sp == nullptr) return;
+    {
+      std::lock_guard<std::mutex> lk(subs_mutex_);
+      for (std::size_t i = 0; i < subs_.size(); ++i) {
+        if (subs_[i] == sp) {
+          subs_.erase(subs_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    sp->close();
+  }
+
+  std::size_t num_subscriptions() const {
+    std::lock_guard<std::mutex> lk(subs_mutex_);
+    return subs_.size();
   }
 
   std::size_t num_readers() const { return readers_.size(); }
@@ -478,6 +693,10 @@ class query_engine {
     bool has_deadline = false;
     std::promise<query_result> promise;
     std::uint64_t trace_id = 0;  // flight-recorder request id
+    // Set for standing-query re-evaluations: the result is delivered into
+    // the subscription's channel (the promise has no consumer), the cache
+    // is bypassed, and the read-set is re-recorded.
+    std::shared_ptr<subscription> sub;
   };
 
   // Stage histograms for one query kind (worker-sharded, lock-free on the
@@ -496,6 +715,17 @@ class query_engine {
   static std::uint64_t stale_state_key(std::uint64_t version,
                                        std::uint64_t epoch) {
     return version * 0x9E3779B97F4A7C15ull ^ (epoch + 1);
+  }
+
+  // The pinned version's position on the cache's invalidation clock: the
+  // composite batch-version clock for sharded versions, the ingested-
+  // update count for single-writer ones — each the domain the owning
+  // manager's invalidate() calls use.
+  static std::uint64_t pinned_epoch(const pinned_snapshot<W>& snap) {
+    if (const composite_snapshot<W>* cs = snap.composite()) {
+      return cs->clock;
+    }
+    return snap.updates_ingested();
   }
 
   // Walk the brownout ladder. Called from submit with mutex_ held (queue
@@ -548,6 +778,45 @@ class query_engine {
     obs::flight_recorder::global().emit(
         obs::event_type::instant, brownout_name_id_,
         static_cast<std::uint64_t>(level));
+  }
+
+  // Enqueue a standing-query re-evaluation on the reader pool. Returns
+  // false (without enqueueing) when the engine is stopping; the caller
+  // resets the subscription's trigger state under subs_mutex_. Never
+  // touches subs_mutex_ itself, so it is callable with it held (on_delta)
+  // or not (subscribe / reader re-arm) — lock order is subs_mutex_ before
+  // mutex_ throughout.
+  bool enqueue_sub(const std::shared_ptr<subscription>& sp) {
+    item it;
+    it.q = sp->q_;
+    it.sub = sp;
+    it.submitted = std::chrono::steady_clock::now();
+    it.trace_id = obs::flight_recorder::global().next_trace_id();
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (stopping_) return false;
+      queue_.push_back(std::move(it));
+      ++submitted_;
+    }
+    work_cv_.notify_one();
+    return true;
+  }
+
+  // The cache's delta-summary listener (runs on the ingest thread, after
+  // the batch became reader-visible): trigger every subscription whose
+  // read-set the batch touched. Coalescing via eval_state_ bounds work to
+  // at most one queued re-eval per subscription however fast batches land.
+  void on_delta(const bucket_set& touched, std::uint64_t /*epoch*/) {
+    std::lock_guard<std::mutex> lk(subs_mutex_);
+    for (const auto& sp : subs_) {
+      if (!touched.intersects(sp->reads_)) continue;
+      if (sp->eval_state_ == 0) {
+        sp->eval_state_ = 1;
+        if (!enqueue_sub(sp)) sp->eval_state_ = 0;
+      } else {
+        sp->eval_state_ = 2;
+      }
+    }
   }
 
   // One query fully resolved (any status): progress accounting + drain()
@@ -637,6 +906,35 @@ class query_engine {
               : 0;
       query_result r;
       bool served = false;
+      bool from_cache = false;
+      bool insertable = false;     // canonical result, safe to cache
+      std::uint64_t entry_epoch = 0;  // its data epoch (cache clock domain)
+      // Read-set recorder for this execution: needed when a cacheable
+      // analytics result will be inserted (bfs precision; whole-graph
+      // kinds record the universe) and for every standing-query re-eval.
+      // Point reads derive their read-set from the key alone.
+      read_set_recorder rec;
+      const bool cacheable =
+          cache_ != nullptr && it.sub == nullptr && !it.q.stale;
+      read_set_recorder* rec_ptr =
+          ((cacheable || it.sub != nullptr) && !is_point_read(it.q.kind))
+              ? &rec
+              : nullptr;
+      if (cacheable) {
+        // Lookup is one atomic load + the read-set epoch check; a hit
+        // skips view selection and execution entirely.
+        static const obs::stage_ref s_lookup =
+            obs::stage_named("serve.cache.lookup");
+        obs::trace_span cspan(s_lookup);
+        if (cache_->lookup(it.q, &r)) {
+          fr.emit(obs::event_type::instant, cache_hit_name_id_);
+          served = true;
+          from_cache = true;
+          exec_start = std::chrono::steady_clock::now();
+        } else {
+          fr.emit(obs::event_type::instant, cache_miss_name_id_);
+        }
+      }
       // Cancellation token for the execution: caller-supplied when the
       // query carries one, else a loop-local token when a deadline is
       // armed. The token_scope binds it as this thread's current token,
@@ -646,7 +944,7 @@ class query_engine {
       parlib::cancel::token* tok = it.q.cancel;
       if (tok == nullptr && it.has_deadline) tok = &local_token;
       if (tok != nullptr && it.has_deadline) tok->set_deadline(it.deadline);
-      {
+      if (!served) {
         parlib::cancel::token_scope cscope(tok);
         GBBS_FAILPOINT_SLEEP("serve.exec.delay");
         // store.pin.fail: pin behaves as if nothing were published.
@@ -723,8 +1021,12 @@ class query_engine {
                 query sq = it.q;
                 sq.stale = true;
                 exec_start = std::chrono::steady_clock::now();
-                r = execute_query(snap, sq);
+                r = execute_query(snap, sq, rec_ptr);
                 stale_auto_routed_.fetch_add(1, std::memory_order_relaxed);
+                // Lossless by the check above: identical to fresh, so
+                // cacheable at the overlay's epoch.
+                insertable = true;
+                entry_epoch = idx->epoch;
                 served = true;
               } else {
                 stale_unroutable_version_.store(store_.current_version(),
@@ -734,12 +1036,20 @@ class query_engine {
             }
             if (!served) {
               exec_start = std::chrono::steady_clock::now();
-              r = execute_fresh_query(std::move(idx), it.q);
+              // The index epoch is the cache's clock: the single-writer
+              // manager stamps its ingested-update count, a shard stamps
+              // its applied batch version — each matching what the owning
+              // manager's invalidate() publishes.
+              insertable = true;
+              entry_epoch = idx->epoch;
+              r = execute_fresh_query(std::move(idx), it.q, rec_ptr);
               served = true;
             }
           } else if (pinned_snapshot<W> snap = pin()) {
             exec_start = std::chrono::steady_clock::now();
-            r = execute_query(snap, it.q);
+            insertable = true;
+            entry_epoch = pinned_epoch(snap);
+            r = execute_query(snap, it.q, rec_ptr);
             served = true;
           }
         } else {
@@ -747,7 +1057,9 @@ class query_engine {
           // sees it regardless of how far ingest advances while it runs.
           if (pinned_snapshot<W> snap = pin()) {
             exec_start = std::chrono::steady_clock::now();
-            r = execute_query(snap, it.q);
+            insertable = true;
+            entry_epoch = pinned_epoch(snap);
+            r = execute_query(snap, it.q, rec_ptr);
             served = true;
           }
         }
@@ -776,6 +1088,12 @@ class query_engine {
         unavailable_.fetch_add(1, std::memory_order_relaxed);
         unavailable_ctr_->add();
       }
+      if (cacheable && !from_cache && insertable &&
+          r.status == query_status::ok && !r.degraded) {
+        // Publish the canonical result back: read-set from the recorder
+        // (or the key, for point reads), epoch from the serving branch.
+        cache_->insert(it.q, r, read_set_for(it.q, rec_ptr), entry_epoch);
+      }
       if (guard.registered()) {
         const std::uint64_t forks =
             parlib::scheduler::instance().push_count(guard.slot()) -
@@ -795,6 +1113,30 @@ class query_engine {
       const double slo = slo_for(it.q.kind);
       const double latency = r.latency_s;
       const query_status status = r.status;
+      if (it.sub != nullptr) {
+        // Standing query: refresh the trigger read-set from this
+        // evaluation, deliver, and re-arm — a batch that landed mid-eval
+        // (eval_state_ == 2) queues exactly one follow-up, so the
+        // subscriber converges to the freshest answer.
+        bool requeue = false;
+        {
+          std::lock_guard<std::mutex> lk(subs_mutex_);
+          if (status == query_status::ok) {
+            it.sub->reads_ = read_set_for(it.q, rec_ptr);
+          }
+          if (it.sub->eval_state_ == 2) {
+            it.sub->eval_state_ = 1;
+            requeue = true;
+          } else {
+            it.sub->eval_state_ = 0;
+          }
+        }
+        if (status == query_status::ok) it.sub->deliver(r);
+        if (requeue && !enqueue_sub(it.sub)) {
+          std::lock_guard<std::mutex> lk(subs_mutex_);
+          it.sub->eval_state_ = 0;
+        }
+      }
       it.promise.set_value(std::move(r));
       // Stage accounting: three sharded histogram records + the engine-
       // wide view-selection span, all lock-free on this reader's own
@@ -842,6 +1184,8 @@ class query_engine {
   std::uint32_t timed_out_name_id_ = 0;
   std::uint32_t cancelled_name_id_ = 0;
   std::uint32_t brownout_name_id_ = 0;
+  std::uint32_t cache_hit_name_id_ = 0;
+  std::uint32_t cache_miss_name_id_ = 0;
   std::array<std::atomic<std::uint64_t>, kNumQueryKinds> slo_violations_{};
   std::vector<obs::registry::scoped_attach> registrations_;
 
@@ -880,6 +1224,13 @@ class query_engine {
   std::uint64_t bn_ticks_ = 0;        // under mutex_
   std::uint64_t bn_last_change_ = 0;  // under mutex_ (dwell anchor)
   bool bn_wait_hot_ = false;          // under mutex_
+  // Result cache + standing queries. subs_mutex_ guards the subscription
+  // list and every subscription's trigger state; lock order is always
+  // subs_mutex_ before mutex_ (on_delta holds it while enqueueing).
+  result_cache* cache_ = nullptr;
+  std::uint64_t cache_listener_id_ = 0;
+  mutable std::mutex subs_mutex_;
+  std::vector<std::shared_ptr<subscription>> subs_;
   // Adaptive stale-routing run detection (racy-by-design, see above).
   std::atomic<std::uint64_t> stale_key_{0};
   std::atomic<std::uint32_t> stale_run_{0};

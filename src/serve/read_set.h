@@ -1,0 +1,229 @@
+// Read-set tracking for the serving-layer result cache (result_cache.h):
+// a fixed bucket space over vertex ids, bitsets over it, and a recorder
+// that captures which buckets a traversal actually read.
+//
+// The cache bucket space is deliberately *not* the overlay index's bucket
+// array: that array is power-of-two sized per snapshot and regrows as the
+// overlay grows, so its bucket ids are not comparable across epochs. The
+// cache space is a fixed kCacheBuckets-way Fibonacci hash of the vertex
+// id — stable for the process lifetime — so a read-set recorded against
+// one snapshot intersects meaningfully with the touched-set of any later
+// ingest batch. Precision is per-bucket (~|V| / kCacheBuckets vertices
+// alias per bucket), which is the invalidation granularity: a batch
+// touching an aliasing vertex invalidates a result that only read its
+// bucket-mate. False invalidations cost a recompute; there are no false
+// hits.
+//
+// Three pieces:
+//   * bucket_set — a plain bitset over the bucket space plus an "all"
+//     flag (whole-graph analytics read everything; connectivity answers
+//     depend on edges anywhere, see result_cache.h). Single-threaded;
+//     the immutable payload stored per cache entry.
+//   * read_set_recorder — the concurrent write-side twin: relaxed
+//     test-then-fetch_or bits, safe from every worker a parallel
+//     traversal forks. Stack-allocated per executed query; snapshot()
+//     distills it into a bucket_set once the traversal is done.
+//   * recording_view<G> — wraps any graph_view model and records the
+//     bucket of every vertex whose degree or neighborhood the algorithm
+//     reads, then forwards. Threading this through edge_map (instead of
+//     instrumenting edge_map itself) keeps the traversal code unaware of
+//     caching: BFS over recording_view<dynamic_view> records exactly the
+//     rows the frontier expansion touched.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/graph_view.h"
+
+namespace gbbs::serve {
+
+// 4096 buckets = 64 words = 512 bytes per set: small enough to live in
+// every cache entry, wide enough that a few hundred touched vertices per
+// batch stay far from saturating the space.
+inline constexpr std::size_t kCacheBucketBits = 12;
+inline constexpr std::size_t kCacheBuckets = std::size_t{1}
+                                             << kCacheBucketBits;
+inline constexpr std::size_t kCacheBucketWords = kCacheBuckets / 64;
+
+// Fibonacci-hash bucket of u in the fixed cache space (the same mixing
+// constant the overlay index uses, truncated to a fixed width).
+inline std::size_t cache_bucket_of(vertex_id u) {
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(u) * 0x9E3779B97F4A7C15ull) >>
+      (64 - kCacheBucketBits));
+}
+
+// Immutable-after-build bitset over the cache bucket space. `all` marks
+// the universe (reads everywhere / depends on everything) without having
+// to set every bit — and lets the cache validate such entries against a
+// single global epoch instead of 4096 per-bucket ones.
+class bucket_set {
+ public:
+  void add(std::size_t b) { bits_[b >> 6] |= std::uint64_t{1} << (b & 63); }
+  void add_vertex(vertex_id u) { add(cache_bucket_of(u)); }
+  void set_all() { all_ = true; }
+
+  bool all() const { return all_; }
+
+  bool test(std::size_t b) const {
+    if (all_) return true;
+    return (bits_[b >> 6] >> (b & 63)) & 1;
+  }
+
+  bool empty() const {
+    if (all_) return false;
+    for (const auto w : bits_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  std::size_t count() const {
+    if (all_) return kCacheBuckets;
+    std::size_t c = 0;
+    for (const auto w : bits_) c += static_cast<std::size_t>(std::popcount(w));
+    return c;
+  }
+
+  bool intersects(const bucket_set& o) const {
+    if (all_) return !o.empty();
+    if (o.all_) return !empty();
+    for (std::size_t i = 0; i < kCacheBucketWords; ++i) {
+      if ((bits_[i] & o.bits_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+  void merge(const bucket_set& o) {
+    all_ = all_ || o.all_;
+    for (std::size_t i = 0; i < kCacheBucketWords; ++i) bits_[i] |= o.bits_[i];
+  }
+
+  // f(bucket_id) over every set bucket. Pre: !all() (the universe is not
+  // enumerated).
+  template <typename F>
+  void for_each(const F& f) const {
+    for (std::size_t i = 0; i < kCacheBucketWords; ++i) {
+      std::uint64_t w = bits_[i];
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        f(i * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  bool all_ = false;
+  std::array<std::uint64_t, kCacheBucketWords> bits_{};
+};
+
+// Concurrent recorder a parallel traversal writes into: every worker the
+// scheduler forks the traversal onto records through the same instance.
+// Test-then-set keeps the common case (bucket already recorded) a single
+// relaxed load; relaxed ordering is enough because the recorder is only
+// read (snapshot()) after the traversal has joined.
+class read_set_recorder {
+ public:
+  void record(vertex_id u) {
+    const std::size_t b = cache_bucket_of(u);
+    auto& w = bits_[b >> 6];
+    const std::uint64_t m = std::uint64_t{1} << (b & 63);
+    if ((w.load(std::memory_order_relaxed) & m) == 0) {
+      w.fetch_or(m, std::memory_order_relaxed);
+    }
+  }
+
+  void record_all() { all_.store(true, std::memory_order_relaxed); }
+
+  bucket_set snapshot() const {
+    bucket_set s;
+    if (all_.load(std::memory_order_relaxed)) {
+      s.set_all();
+      return s;
+    }
+    for (std::size_t i = 0; i < kCacheBucketWords; ++i) {
+      std::uint64_t w = bits_[i].load(std::memory_order_relaxed);
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        s.add(i * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+    return s;
+  }
+
+ private:
+  std::atomic<bool> all_{false};
+  std::array<std::atomic<std::uint64_t>, kCacheBucketWords> bits_{};
+};
+
+// graph_view adaptor: forwards every neighborhood primitive to the base
+// view, recording the bucket of the vertex whose row is being read. Holds
+// the base by pointer — both the base and the recorder must outlive the
+// wrapper (they do: all three live on the executing query's stack frame).
+template <typename G>
+class recording_view {
+ public:
+  using weight_type = typename G::weight_type;
+
+  recording_view(const G& base, read_set_recorder* rec)
+      : base_(&base), rec_(rec) {}
+
+  vertex_id num_vertices() const { return base_->num_vertices(); }
+  edge_id num_edges() const { return base_->num_edges(); }
+  bool symmetric() const { return base_->symmetric(); }
+
+  vertex_id out_degree(vertex_id v) const {
+    rec_->record(v);
+    return base_->out_degree(v);
+  }
+  vertex_id in_degree(vertex_id v) const {
+    rec_->record(v);
+    return base_->in_degree(v);
+  }
+
+  template <typename F>
+  void map_out_neighbors(vertex_id v, const F& f) const {
+    rec_->record(v);
+    base_->map_out_neighbors(v, f);
+  }
+  template <typename F>
+  void map_in_neighbors(vertex_id v, const F& f) const {
+    rec_->record(v);
+    base_->map_in_neighbors(v, f);
+  }
+  template <typename F>
+  void map_out_neighbors_early_exit(vertex_id v, const F& f) const {
+    rec_->record(v);
+    base_->map_out_neighbors_early_exit(v, f);
+  }
+  template <typename F>
+  void map_in_neighbors_early_exit(vertex_id v, const F& f) const {
+    rec_->record(v);
+    base_->map_in_neighbors_early_exit(v, f);
+  }
+  template <typename F>
+  void map_out_neighbors_range(vertex_id v, std::size_t j_lo,
+                               std::size_t j_hi, const F& f) const {
+    rec_->record(v);
+    base_->map_out_neighbors_range(v, j_lo, j_hi, f);
+  }
+  template <typename F>
+  std::size_t count_out(vertex_id v, const F& pred) const {
+    rec_->record(v);
+    return base_->count_out(v, pred);
+  }
+
+ private:
+  const G* base_;
+  read_set_recorder* rec_;
+};
+
+static_assert(graph_view<recording_view<graph<empty_weight>>>);
+
+}  // namespace gbbs::serve

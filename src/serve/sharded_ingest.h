@@ -67,6 +67,7 @@
 #include "serve/component_view.h"
 #include "serve/composite_view.h"
 #include "serve/overlay_view.h"
+#include "serve/result_cache.h"
 #include "serve/snapshot_store.h"
 
 namespace gbbs::serve {
@@ -148,6 +149,18 @@ class sharded_snapshot_manager {
     }();
     const std::uint64_t v = ++ingested_batches_;
     pending_meta_.push_back({v, updates_ingested_});
+    if (cache_ != nullptr) {
+      // Invalidate before any shard can apply the batch (the enqueue
+      // below), pessimistically as of clock v: cached point reads (entry
+      // epoch = the owner shard's applied batch version) and composite
+      // analytics (entry epoch = composite clock) both compare against
+      // the same batch-version clock. Standing queries are notified at
+      // the publish barrier instead — publish_through — once the batch's
+      // data is composite-visible.
+      bucket_set delta = touched_buckets(batch);
+      cache_->invalidate(delta, v);
+      pending_touched_.push_back({v, std::move(delta)});
+    }
     // The freshest barrier-merged components ride along so each shard's
     // overlay snapshot can answer connectivity point reads (at composite
     // freshness — per-shard applies do not merge labels).
@@ -239,6 +252,14 @@ class sharded_snapshot_manager {
   std::uint64_t current_version() const { return store_.current_version(); }
   const snapshot_store<W>& store() const { return store_; }
   snapshot_store<W>& store() { return store_; }
+
+  // Wire a result cache into the sharded ingest path: each batch
+  // invalidates at ingest (pessimistic, before any shard applies) and
+  // standing queries are notified at the publish barrier. The cache's
+  // epoch domain is this manager's batch-version clock. Coordinator-only;
+  // call before the first ingest and keep the cache alive for the
+  // manager's lifetime.
+  void attach_cache(result_cache* cache) { cache_ = cache; }
 
  private:
   // Connectivity delta one shard recorded for one batch: the insert links
@@ -340,13 +361,7 @@ class sharded_snapshot_manager {
         sh.dg.apply_batch(t.sub);
       }
       // Distinct updated vertices (the sub-batch stays (u, v)-sorted).
-      std::vector<vertex_id> touched;
-      touched.reserve(t.sub.updates.size());
-      for (const auto& up : t.sub.updates) {
-        if (touched.empty() || touched.back() != up.u) {
-          touched.push_back(up.u);
-        }
-      }
+      std::vector<vertex_id> touched = t.sub.touched_vertices();
       {
         static const obs::stage_ref s_refresh =
             obs::stage_named("ingest.shard.refresh");
@@ -423,8 +438,22 @@ class sharded_snapshot_manager {
     }
     published_clock_ = V;
     component_view components = comp->cc;
-    return store_.publish_composite(std::move(comp), std::move(components),
-                                    published_updates_);
+    const std::uint64_t sv = store_.publish_composite(
+        std::move(comp), std::move(components), published_updates_);
+    if (cache_ != nullptr) {
+      // Standing queries fire once the batches' data is composite-visible:
+      // merge every pending touched summary through V into one
+      // notification (re-evaluations observe the version just published).
+      bucket_set merged;
+      bool any = false;
+      while (!pending_touched_.empty() && pending_touched_.front().first <= V) {
+        merged.merge(pending_touched_.front().second);
+        pending_touched_.pop_front();
+        any = true;
+      }
+      if (any) cache_->notify(merged, V);
+    }
+    return sv;
   }
 
   dynamic::shard_partition part_;
@@ -443,6 +472,10 @@ class sharded_snapshot_manager {
   std::uint64_t ingested_batches_ = 0;
   std::uint64_t updates_ingested_ = 0;
   std::deque<std::pair<std::uint64_t, std::uint64_t>> pending_meta_;
+  // Touched-bucket summaries of ingested-but-not-yet-published batches,
+  // merged into one standing-query notification per publish barrier.
+  std::deque<std::pair<std::uint64_t, bucket_set>> pending_touched_;
+  result_cache* cache_ = nullptr;
   std::uint64_t published_clock_ = 0;
   std::uint64_t published_updates_ = 0;
   std::uint64_t last_ingest_trace_id_ = 0;

@@ -52,6 +52,7 @@
 #include "robust/failpoint.h"
 #include "serve/component_view.h"
 #include "serve/overlay_view.h"
+#include "serve/result_cache.h"
 #include "serve/snapshot_store.h"
 
 namespace gbbs::serve {
@@ -104,16 +105,33 @@ class snapshot_manager {
       cc_.apply(batch, dg_);
       track_links(batch);
     }
-    // Distinct updated vertices (the batch is (u, v)-sorted).
-    std::vector<vertex_id> touched;
-    touched.reserve(batch.updates.size());
-    for (const auto& up : batch.updates) {
-      if (touched.empty() || touched.back() != up.u) {
-        touched.push_back(up.u);
-      }
+    // The batch's delta summary: distinct updated vertices (row refresh)
+    // and their cache buckets (result invalidation + standing queries).
+    std::vector<vertex_id> touched = batch.touched_vertices();
+    if (cache_ != nullptr) {
+      const bucket_set delta = touched_buckets(batch);
+      // Invalidate before the overlay refresh makes the batch visible to
+      // readers: a cache hit is then provably no staler than the freshest
+      // overlay any concurrent reader can observe. Epochs are this
+      // manager's ingested-update count — the same clock the overlay
+      // snapshot (and thus every cached fresh result) is stamped with.
+      cache_->invalidate(delta, updates_ingested_);
+      refresh_overlay(&touched);
+      // Notify after visibility so standing-query re-evaluations read the
+      // refreshed overlay.
+      cache_->notify(delta, updates_ingested_);
+    } else {
+      refresh_overlay(&touched);
     }
-    refresh_overlay(&touched);
   }
+
+  // Wire a result cache into this manager's ingest path: every batch's
+  // touched-bucket summary is published into it (invalidate before the
+  // refresh makes the batch reader-visible, notify after). Call before
+  // the first ingest and keep the cache alive for the manager's lifetime;
+  // an engine serving from this manager must share the same cache — an
+  // unattached cache never invalidates and will serve stale results.
+  void attach_cache(result_cache* cache) { cache_ = cache; }
 
   // Publish the live view as a new immutable version. Returns its number.
   // O(delta) — see the file header for the cost breakdown per case.
@@ -244,6 +262,7 @@ class snapshot_manager {
   // delta-proportional version).
   std::shared_ptr<const overlay_snapshot<W>> last_index_;
   component_tracker tracker_;
+  result_cache* cache_ = nullptr;
   std::uint64_t updates_ingested_ = 0;
   std::uint64_t last_published_updates_ = 0;
   std::uint64_t last_ingest_trace_id_ = 0;

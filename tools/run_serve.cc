@@ -40,6 +40,16 @@
 //                     shed low-priority analytics, then all analytics —
 //                     point reads admitted until the queue is hard-full.
 //                     Queries are classed point=normal / analytics=low.
+//   -cache            bucket-keyed result cache (serve/result_cache.h):
+//                     ok results are cached with the read-set of overlay
+//                     buckets they touched; each ingest batch invalidates
+//                     only intersecting entries. Per-kind hit counts and a
+//                     cache summary line are reported after the trace.
+//   -cache-entries <n>    cache capacity in entries (default 4096)
+//   -subscribe <kind:u[:v]>   standing query: subscribe kind(u[,v]) and
+//                     re-evaluate it whenever an ingest batch touches its
+//                     read-set (implies -cache; repeatable). Delivery and
+//                     drop counts per subscription are reported at exit.
 //   -retries <k>      resubmit rejected queries up to k times (default 0)
 //   -backoff-ms <t>   base for the jittered exponential backoff between
 //                     retries (default 1 ms); counted in the obs registry
@@ -113,6 +123,9 @@ int main(int argc, char** argv) {
   double deadline_ms = 0;
   std::size_t max_queue = 0;
   bool brownout = false;
+  bool use_cache = false;
+  std::size_t cache_entries = 4096;
+  std::vector<std::string> subscribe_specs;
   int retries = 0;
   double backoff_ms = 1.0;
   std::string metrics_json;
@@ -144,6 +157,12 @@ int main(int argc, char** argv) {
       max_queue = std::strtoull(argv[++i], nullptr, 10);
     } else if (!std::strcmp(argv[i], "-brownout")) {
       brownout = true;
+    } else if (!std::strcmp(argv[i], "-cache")) {
+      use_cache = true;
+    } else if (!std::strcmp(argv[i], "-cache-entries") && i + 1 < argc) {
+      cache_entries = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "-subscribe") && i + 1 < argc) {
+      subscribe_specs.emplace_back(argv[++i]);
     } else if (!std::strcmp(argv[i], "-retries") && i + 1 < argc) {
       retries = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "-backoff-ms") && i + 1 < argc) {
@@ -195,6 +214,45 @@ int main(int argc, char** argv) {
   auto g = tools::load_symmetric(o);
   const vertex_id n = g.num_vertices();
   auto stream_edges = gbbs::dynamic::undirected_stream_edges(g);
+
+  // Standing-query specs: "<kind>:<u>[:<v>]" with the kind matched against
+  // kQueryKindNames. Subscriptions ride on the cache's delta summaries, so
+  // any spec implies -cache.
+  std::vector<gbbs::serve::query> subscribe_queries;
+  for (const std::string& spec : subscribe_specs) {
+    const auto c1 = spec.find(':');
+    bool spec_ok = c1 != std::string::npos && n > 0;
+    gbbs::serve::query q;
+    if (spec_ok) {
+      const std::string kind_name = spec.substr(0, c1);
+      spec_ok = false;
+      for (std::size_t k = 0; k < gbbs::serve::kNumQueryKinds; ++k) {
+        if (kind_name == gbbs::serve::kQueryKindNames[k]) {
+          q.kind = static_cast<gbbs::serve::query_kind>(k);
+          spec_ok = true;
+          break;
+        }
+      }
+      if (spec_ok) {
+        q.u = static_cast<vertex_id>(
+            std::strtoull(spec.c_str() + c1 + 1, nullptr, 10) % n);
+        const auto c2 = spec.find(':', c1 + 1);
+        if (c2 != std::string::npos) {
+          q.v = static_cast<vertex_id>(
+              std::strtoull(spec.c_str() + c2 + 1, nullptr, 10) % n);
+        }
+      }
+    }
+    if (!spec_ok) {
+      std::fprintf(stderr,
+                   "serve: bad -subscribe spec '%s' (want kind:u[:v])\n",
+                   spec.c_str());
+      continue;
+    }
+    subscribe_queries.push_back(q);
+  }
+  if (!subscribe_queries.empty()) use_cache = true;
+
   std::printf(
       "serve: n=%u, %zu streamed edges, batch=%zu, readers=%zu, "
       "%zu queries/batch%s%s%s",
@@ -226,6 +284,18 @@ int main(int argc, char** argv) {
     opts.stale_auto = stale_auto;
     opts.max_queue = max_queue;
     opts.brownout = brownout;
+    // Per-round cache: each round gets a fresh manager (fresh epoch
+    // domain), so the cache must be fresh too. Attach to the ingest side
+    // *before* the first batch so every delta summary reaches it.
+    std::unique_ptr<gbbs::serve::result_cache> cache;
+    if (use_cache) {
+      gbbs::serve::result_cache::options copt;
+      copt.entries = cache_entries;
+      cache = std::make_unique<gbbs::serve::result_cache>(copt);
+      mgr.attach_cache(cache.get());
+      opts.cache = cache.get();
+    }
+    std::vector<std::shared_ptr<gbbs::serve::subscription>> subs;
     std::array<gbbs::serve::query_engine<empty_weight>::kind_stats,
                gbbs::serve::kNumQueryKinds>
         kinds{};
@@ -237,6 +307,9 @@ int main(int argc, char** argv) {
     {
       gbbs::serve::query_engine<empty_weight> engine(
           mgr.store(), overlay, readers, opts, std::move(router));
+      for (const auto& sq : subscribe_queries) {
+        subs.push_back(engine.subscribe(sq));
+      }
       // Submit with bounded retry: a rejected submit (queue overflow or
       // brownout shed) resolves its future immediately, so readiness right
       // after submit is the reject signal. Jittered exponential backoff
@@ -324,13 +397,15 @@ int main(int argc, char** argv) {
     // decomposed into queue wait (submit -> dequeue) and execute: a fat
     // qw-p99 with a thin exec-p99 means the reader pool is saturated, not
     // that queries got slower.
-    std::printf("%-20s %8s %9s %9s %9s %9s %9s %9s %8s\n", "kind", "count",
+    std::printf("%-20s %8s %9s %9s %9s %9s %9s %9s %8s", "kind", "count",
                 "p50(ms)", "p99(ms)", "qw-p50", "qw-p99", "ex-p50", "ex-p99",
                 "slo-viol");
+    if (cache) std::printf(" %8s %6s", "hits", "hit%");
+    std::printf("\n");
     for (std::size_t k = 0; k < gbbs::serve::kNumQueryKinds; ++k) {
       if (kinds[k].count == 0) continue;
       std::printf(
-          "%-20s %8llu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %8llu\n",
+          "%-20s %8llu %9.3f %9.3f %9.3f %9.3f %9.3f %9.3f %8llu",
           gbbs::serve::query_kind_name(
               static_cast<gbbs::serve::query_kind>(k)),
           static_cast<unsigned long long>(kinds[k].count),
@@ -338,6 +413,17 @@ int main(int argc, char** argv) {
           kinds[k].queue_p50_s * 1e3, kinds[k].queue_p99_s * 1e3,
           kinds[k].exec_p50_s * 1e3, kinds[k].exec_p99_s * 1e3,
           static_cast<unsigned long long>(kinds[k].slo_violations));
+      if (cache) {
+        const auto kind = static_cast<gbbs::serve::query_kind>(k);
+        const std::uint64_t kh = cache->kind_hits(kind);
+        const std::uint64_t km = cache->kind_misses(kind);
+        std::printf(" %8llu %5.1f%%",
+                    static_cast<unsigned long long>(kh),
+                    kh + km ? 100.0 * static_cast<double>(kh) /
+                                  static_cast<double>(kh + km)
+                            : 0.0);
+      }
+      std::printf("\n");
     }
 
     // Scheduler participation: forks reader threads placed on their own
@@ -367,6 +453,30 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(degraded),
         static_cast<unsigned long long>(transitions),
         static_cast<unsigned long long>(retries_done));
+
+    // Cache effectiveness and subscription delivery, from the same obs
+    // counters the metrics JSON exports (serve.cache.*).
+    if (cache) {
+      const std::uint64_t h = cache->hits();
+      const std::uint64_t m = cache->misses();
+      std::printf(
+          "cache: hits=%llu misses=%llu hit-ratio=%.3f invalidations=%llu "
+          "entries=%llu/%llu\n",
+          static_cast<unsigned long long>(h),
+          static_cast<unsigned long long>(m),
+          h + m ? static_cast<double>(h) / static_cast<double>(h + m) : 0.0,
+          static_cast<unsigned long long>(cache->invalidations()),
+          static_cast<unsigned long long>(cache->entries()),
+          static_cast<unsigned long long>(cache->capacity()));
+    }
+    for (const auto& sp : subs) {
+      if (!sp) continue;
+      const auto& wq = sp->watched();
+      std::printf("subscription %s(u=%u, v=%u): delivered=%llu dropped=%llu\n",
+                  gbbs::serve::query_kind_name(wq.kind), wq.u, wq.v,
+                  static_cast<unsigned long long>(sp->delivered()),
+                  static_cast<unsigned long long>(sp->dropped()));
+    }
 
     char buf[240];
     std::snprintf(
